@@ -1,0 +1,84 @@
+"""Ablation: blocking vs non-blocking checkpoint writes (Fig. 10's caveat).
+
+Fig. 10's conclusions hold "assuming checkpoint writes are non-blocking".
+This bench quantifies the assumption: for a 405B-parameter run on 16k GPUs,
+how much ETTR do blocking writes cost at the paper's recommended cadences,
+per storage tier, and where does the blocking-optimal interval sit?
+"""
+
+from conftest import show
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.core.ettr import dedicated_cluster_scenario
+from repro.sim.timeunits import MINUTE
+from repro.storage import (
+    NFS,
+    OBJECTSTORE,
+    CheckpointMode,
+    checkpoint_write_time,
+    ettr_with_checkpoint_writes,
+    model_checkpoint_gb,
+    optimal_blocking_interval,
+)
+
+RSC1_RF = 6.5e-3
+
+
+def run_sweep():
+    checkpoint_gb = model_checkpoint_gb(405.0)
+    n_nodes = 2000  # 16k GPUs
+    params = dedicated_cluster_scenario(16_000, RSC1_RF, checkpoint_interval=MINUTE)
+    rows = []
+    optima = {}
+    for tier in (NFS, OBJECTSTORE):
+        write = checkpoint_write_time(checkpoint_gb, tier, n_writer_nodes=n_nodes)
+        for dt_min in (5, 15, 30, 60):
+            p = replace(params, checkpoint_interval=dt_min * MINUTE)
+            blocking = ettr_with_checkpoint_writes(
+                p, write, CheckpointMode.BLOCKING
+            )
+            asynchronous = ettr_with_checkpoint_writes(
+                p, write, CheckpointMode.ASYNC
+            )
+            rows.append(
+                (
+                    tier.name,
+                    f"{write:.0f}s",
+                    dt_min,
+                    f"{asynchronous:.3f}",
+                    f"{blocking:.3f}",
+                )
+            )
+        optima[tier.name] = optimal_blocking_interval(params, write)
+    return rows, optima
+
+
+def test_ablation_checkpoint_writes(benchmark):
+    rows, optima = benchmark(run_sweep)
+    footer = "; ".join(
+        f"{name}: blocking-optimal dt = {dt / MINUTE:.1f} min"
+        for name, dt in optima.items()
+    )
+    show(
+        "Ablation — blocking vs async checkpoint writes, 405B params, "
+        "16k GPUs (Fig. 10 assumes async)",
+        render_table(
+            ["tier", "write time", "dt (min)", "E[ETTR] async", "E[ETTR] blocking"],
+            rows,
+        )
+        + "\n"
+        + footer,
+    )
+    by_key = {(r[0], r[2]): r for r in rows}
+    # Async always dominates blocking.
+    for row in rows:
+        assert float(row[4]) <= float(row[3]) + 1e-9
+    # On the fast tier the gap at the paper's 5-minute cadence is small...
+    fast = by_key[("ObjectStore", 5)]
+    assert float(fast[3]) - float(fast[4]) < 0.08
+    # ...while the slow tier pays heavily for frequent blocking writes.
+    slow = by_key[("NFS", 5)]
+    assert float(slow[3]) - float(slow[4]) > 0.15
+    # Blocking optimum on the slow tier sits at a longer interval.
+    assert optima["NFS"] > optima["ObjectStore"]

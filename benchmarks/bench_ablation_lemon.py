@@ -1,0 +1,66 @@
+"""Ablation: lemon-node quarantine on vs off (Section IV-A's deployment).
+
+The paper reports lemon detection cut 512+-GPU job failure rates from 14%
+to 4% — a >30% completion-rate improvement for large jobs.  We run paired
+campaigns on a lemon-heavy cluster and measure the same delta.
+"""
+
+import pytest
+from conftest import show
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis.report import render_table
+
+
+def run_pair():
+    spec = ClusterSpec.rsc1_like(
+        n_nodes=32,
+        campaign_days=40,
+        lemon_fraction=0.10,  # lemon-heavy so the delta is measurable
+        lemon_fail_per_day=0.5,
+        enable_episodic_regimes=False,
+    )
+    base = run_campaign(
+        CampaignConfig(cluster_spec=spec, duration_days=40, seed=21)
+    )
+    mitigated = run_campaign(
+        CampaignConfig(
+            cluster_spec=spec,
+            duration_days=40,
+            seed=21,
+            lemon_detection=True,
+            lemon_detection_period_days=5.0,
+        )
+    )
+    return base, mitigated
+
+
+def hw_rate(trace, min_gpus):
+    records = [r for r in trace.job_records if r.n_gpus >= min_gpus]
+    failing = sum(1 for r in records if r.is_hw_interruption)
+    return failing / len(records) if records else 0.0
+
+
+def test_ablation_lemon_detection(benchmark):
+    base, mitigated = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = []
+    for min_gpus in (16, 32, 64):
+        rows.append(
+            (
+                f">={min_gpus} GPUs",
+                f"{hw_rate(base, min_gpus):.2%}",
+                f"{hw_rate(mitigated, min_gpus):.2%}",
+            )
+        )
+    quarantined = sum(
+        1 for e in mitigated.events if e.kind == "lemon.quarantined"
+    )
+    show(
+        "Ablation — lemon detection off vs on (paper: 512+-GPU failures "
+        "14% -> 4% after quarantining 40 nodes)",
+        render_table(["job size", "detection off", "detection on"], rows)
+        + f"\nnodes quarantined: {quarantined}",
+    )
+    assert quarantined > 0
+    assert hw_rate(mitigated, 64) < hw_rate(base, 64)
+    assert len(mitigated.hw_failure_records()) < len(base.hw_failure_records())

@@ -1,0 +1,60 @@
+"""Extension bench: NCCL-timeout diagnosis accuracy over random faults.
+
+Section V argues better debugging tools should retroactively identify the
+root cause of timeouts.  This bench samples labelled fault scenarios —
+crashes, dataloader stalls, in-collective network hangs, SPMD ordering
+bugs, and healthy runs — and measures the flight-recorder diagnoser's
+verdict and culprit accuracy.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.analysis.report import render_table
+from repro.diagnostics import diagnose_timeout, random_scenario, simulate_collectives
+
+TRIALS = 150
+
+
+def run_eval():
+    rng = np.random.default_rng(2025)
+    per_family = {}
+    for _ in range(TRIALS):
+        scenario = random_scenario(rng)
+        result = diagnose_timeout(
+            simulate_collectives(scenario.programs, faults=scenario.faults)
+        )
+        slot = per_family.setdefault(
+            scenario.truth_verdict, {"n": 0, "verdict_ok": 0, "culprit_ok": 0}
+        )
+        slot["n"] += 1
+        if result.verdict.value == scenario.truth_verdict:
+            slot["verdict_ok"] += 1
+        if scenario.truth_verdict == "in_collective_hang":
+            slot["culprit_ok"] += result.culprit_ranks == ()
+        else:
+            slot["culprit_ok"] += result.culprit_ranks == scenario.truth_culprits
+    return per_family
+
+
+def test_diagnosis_accuracy(benchmark):
+    per_family = benchmark(run_eval)
+    rows = [
+        (
+            family,
+            stats["n"],
+            f"{stats['verdict_ok'] / stats['n']:.0%}",
+            f"{stats['culprit_ok'] / stats['n']:.0%}",
+        )
+        for family, stats in sorted(per_family.items())
+    ]
+    show(
+        "Diagnosis accuracy over random fault scenarios "
+        "(culprit n/a for in-collective hangs: all ranks are inside)",
+        render_table(
+            ["truth verdict", "trials", "verdict acc", "culprit acc"], rows
+        ),
+    )
+    for family, stats in per_family.items():
+        assert stats["verdict_ok"] == stats["n"], family
+        assert stats["culprit_ok"] == stats["n"], family

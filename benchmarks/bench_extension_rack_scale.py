@@ -1,0 +1,79 @@
+"""Extension bench: the GB200 rack-as-repair-unit future (Section V).
+
+Compares the server-repair era against rack-unit repair with and without
+hot spares, at a 16k-GPU job on RSC-1-like failure rates: the capacity
+benched for repair, the job-visible MTTF, and the resulting E[ETTR].
+"""
+
+from conftest import show
+
+from repro.analysis.report import render_table
+from repro.core.ettr import ETTRParameters
+from repro.core.rackscale import (
+    RACK_UNIT,
+    SERVER_UNIT,
+    capacity_in_repair_fraction,
+    ettr_with_spares,
+    rack_scale_mttf_hours,
+)
+from repro.sim.timeunits import MINUTE
+
+RF = 6.5e-3
+N_GPUS = 16_384
+
+
+def run_comparison():
+    params = ETTRParameters(
+        n_nodes=N_GPUS // 8,
+        failure_rate_per_node_day=RF,
+        checkpoint_interval=15 * MINUTE,
+        restart_overhead=5 * MINUTE,
+    )
+    rows = []
+    rows.append(
+        (
+            "server repair unit",
+            f"{capacity_in_repair_fraction(RF, SERVER_UNIT):.1%}",
+            f"{rack_scale_mttf_hours(N_GPUS, RF, spares_per_rack=0):.2f}",
+            f"{ettr_with_spares(params, spares_per_rack=0):.3f}",
+        )
+    )
+    for spares in (0, 1, 2):
+        rows.append(
+            (
+                f"rack repair unit, {spares} hot spare(s)",
+                f"{capacity_in_repair_fraction(RF, RACK_UNIT):.1%}",
+                f"{rack_scale_mttf_hours(N_GPUS, RF, spares_per_rack=spares):.2f}",
+                f"{ettr_with_spares(params, spares_per_rack=spares):.3f}",
+            )
+        )
+    return rows
+
+
+def test_extension_rack_scale(benchmark):
+    rows = benchmark(run_comparison)
+    show(
+        "Extension — rack-scale repair units (paper: GB200 'creates "
+        "incentives to avoiding downtime by coping with failure')",
+        render_table(
+            [
+                "configuration",
+                "capacity in repair",
+                "job MTTF (h)",
+                "E[ETTR] @15min ckpt",
+            ],
+            rows,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Rack-unit repair benches ~9x the capacity of server-unit repair.
+    server_frac = float(by_name["server repair unit"][1].rstrip("%"))
+    rack_frac = float(by_name["rack repair unit, 0 hot spare(s)"][1].rstrip("%"))
+    assert rack_frac > 8 * server_frac
+    # Hot spares recover the reliability: MTTF and ETTR strictly improve.
+    mttf0 = float(by_name["rack repair unit, 0 hot spare(s)"][2])
+    mttf2 = float(by_name["rack repair unit, 2 hot spare(s)"][2])
+    assert mttf2 > 20 * mttf0
+    ettr0 = float(by_name["rack repair unit, 0 hot spare(s)"][3])
+    ettr2 = float(by_name["rack repair unit, 2 hot spare(s)"][3])
+    assert ettr2 > ettr0

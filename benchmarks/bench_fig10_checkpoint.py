@@ -1,0 +1,34 @@
+"""Fig. 10: checkpoint-interval / failure-rate requirements at 100k GPUs."""
+
+import numpy as np
+from conftest import show
+
+from repro.analysis.checkpoint_sweep import RSC1_RF, RSC2_RF, checkpoint_sweep
+from repro.sim.timeunits import MINUTE
+
+
+def test_fig10_checkpoint_requirements(benchmark):
+    sweep = benchmark(checkpoint_sweep)
+    show(
+        "Fig. 10 (paper: at 100k GPUs an RSC-1-like rate implies MTTF "
+        "~15 min; ETTR 0.5 needs ~7-minute checkpointing, ~21 minutes "
+        "at RSC-2 rates; ETTR 0.9 at RSC-2 rates needs ~2-minute "
+        "checkpoint + restart)",
+        sweep.render(),
+    )
+    dt_rsc1 = sweep.required_interval(RSC1_RF, 0.5)
+    dt_rsc2 = sweep.required_interval(RSC2_RF, 0.5)
+    assert 5 * MINUTE <= dt_rsc1 <= 12 * MINUTE  # paper: ~7 min
+    assert 18 * MINUTE <= dt_rsc2 <= 45 * MINUTE  # paper: ~21 min
+    # Crossover shape: requirement tightens monotonically with rate.
+    assert dt_rsc2 > dt_rsc1
+    # Hourly checkpoints are untenable at RSC-1 rates (ETTR ~ 0).
+    assert sweep.ettr_at(RSC1_RF, 60 * MINUTE) == 0.0
+    # ETTR 0.9 at RSC-2 rates: single-digit minutes with a 2-min restart.
+    from repro.core.checkpoint import required_checkpoint_interval
+
+    dt_09 = required_checkpoint_interval(
+        0.9, n_nodes=12_500, failure_rate_per_node_day=RSC2_RF,
+        restart_overhead=2 * MINUTE,
+    )
+    assert dt_09 < 10 * MINUTE

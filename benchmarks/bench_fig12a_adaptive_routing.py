@@ -1,0 +1,68 @@
+"""Fig. 12a: 512-GPU all-reduce bandwidth under injected bit errors."""
+
+import numpy as np
+from conftest import show
+
+from repro.analysis.report import render_table
+from repro.network import (
+    AdaptiveRouting,
+    FabricSpec,
+    FabricTopology,
+    ShieldRouting,
+    StaticRouting,
+    inject_bit_errors,
+    restore_all,
+    ring_allreduce_bandwidth,
+)
+
+N_SERVERS = 64  # 512 GPUs
+ITERATIONS = 5
+
+
+def run_experiment():
+    """Five iterations with fresh random BER placement, AR vs no-AR."""
+    fabric = FabricTopology(FabricSpec(n_servers=N_SERVERS))
+    servers = list(range(N_SERVERS))
+    results = {"static": [], "shield": [], "adaptive": []}
+    rng = np.random.default_rng(12)
+    for _iteration in range(ITERATIONS):
+        restore_all(fabric)
+        inject_bit_errors(fabric, 0.25, 5e-5, rng)
+        for policy in (StaticRouting(), ShieldRouting(), AdaptiveRouting()):
+            bw = ring_allreduce_bandwidth(fabric, servers, policy)
+            results[policy.name].append(bw.bus_bandwidth_gbps)
+    restore_all(fabric)
+    clean = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+    return results, clean.bus_bandwidth_gbps
+
+
+def test_fig12a_bandwidth_under_link_errors(benchmark):
+    results, clean_bw = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            i + 1,
+            f"{results['static'][i]:.0f}",
+            f"{results['shield'][i]:.0f}",
+            f"{results['adaptive'][i]:.0f}",
+        )
+        for i in range(ITERATIONS)
+    ]
+    show(
+        "Fig. 12a (paper: AR maintains much higher bandwidth under BER; "
+        "SHIELD alone left 50-75% losses during bring-up because its "
+        "link-down threshold is too conservative)",
+        render_table(
+            ["iteration", "no-AR Gb/s", "SHIELD Gb/s", "AR Gb/s"], rows
+        )
+        + f"\nclean fabric: {clean_bw:.0f} Gb/s",
+    )
+    # SHIELD cannot see sub-threshold degradation: it tracks static.
+    assert np.mean(results["shield"]) <= np.mean(results["adaptive"])
+    static_mean = np.mean(results["static"])
+    adaptive_mean = np.mean(results["adaptive"])
+    # Who wins: AR, by a wide margin; static visibly degraded.
+    assert adaptive_mean > 1.3 * static_mean
+    assert static_mean < 0.75 * clean_bw
+    assert adaptive_mean > 0.85 * clean_bw

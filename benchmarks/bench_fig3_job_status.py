@@ -1,0 +1,21 @@
+"""Fig. 3: scheduler job status breakdown (jobs vs GPU runtime)."""
+
+from conftest import show
+
+from repro.analysis.job_status import job_status_breakdown
+from repro.jobtypes import JobState
+
+
+def test_fig3_job_status(benchmark, bench_rsc1_trace):
+    result = benchmark(job_status_breakdown, bench_rsc1_trace)
+    show("Fig. 3 (paper: COMPLETED 60%, FAILED 24%, PREEMPTED 10%, "
+         "REQUEUED 2%, TIMEOUT 0.6%, OOM 0.1%, NODE_FAIL 0.1%; "
+         "HW: 0.2% of jobs, 18.7% of runtime)", result.render())
+    # Shape assertions mirroring the paper's ordering.
+    jf = result.job_fraction
+    assert jf[JobState.COMPLETED] > jf[JobState.FAILED] > jf.get(
+        JobState.CANCELLED, 0.0
+    )
+    assert jf.get(JobState.NODE_FAIL, 0.0) < 0.01
+    assert result.hw_job_fraction < 0.01
+    assert result.hw_gpu_time_fraction > 5 * result.hw_job_fraction

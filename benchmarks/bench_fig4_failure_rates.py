@@ -1,0 +1,26 @@
+"""Fig. 4: attributed hardware failure rates per GPU-hour, both clusters."""
+
+from conftest import show
+
+from repro.analysis.failure_rates import attributed_failure_rates
+
+
+def test_fig4_rsc1(benchmark, bench_rsc1_trace):
+    result = benchmark(attributed_failure_rates, bench_rsc1_trace)
+    show(
+        "Fig. 4a (paper: IB links, filesystem mounts, GPU memory, PCIe "
+        "dominate; 43% of PCIe co-occur with XID 79)",
+        result.render(),
+    )
+    top4 = list(result.rates)[:4]
+    assert any(
+        c in top4 for c in ("ib_link", "filesystem_mount", "gpu_memory")
+    )
+    assert result.co_occurrence_pcie_xid79 > 0.2
+
+
+def test_fig4_rsc2(benchmark, bench_rsc2_trace, bench_rsc1_trace):
+    rsc2 = benchmark(attributed_failure_rates, bench_rsc2_trace)
+    rsc1 = attributed_failure_rates(bench_rsc1_trace)
+    show("Fig. 4b (paper: RSC-2 rates lower overall)", rsc2.render())
+    assert sum(rsc2.rates.values()) < sum(rsc1.rates.values())

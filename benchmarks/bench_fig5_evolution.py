@@ -1,0 +1,30 @@
+"""Fig. 5: failure-rate evolution with episodic regimes and check launches."""
+
+import numpy as np
+from conftest import show
+
+from repro.analysis.rolling_failures import failure_rate_timeline
+
+
+def test_fig5_evolution(benchmark, bench_rsc1_trace):
+    timeline = benchmark(failure_rate_timeline, bench_rsc1_trace)
+    show(
+        "Fig. 5 (paper: rate swings ~order of magnitude; driver-bug era, "
+        "mount wave after its check lands, an IB-link spike from a few "
+        "nodes)",
+        timeline.render(),
+    )
+    # Rate is dynamic: peak well above the floor.
+    positive = timeline.overall[timeline.overall > 0]
+    assert positive.size > 0
+    assert timeline.peak_rate() > 2 * float(np.median(positive))
+    # The IB spike era (62-72% of the span) elevates ib_link failures.
+    ib = timeline.by_component.get("ib_link")
+    if ib is not None:
+        days = timeline.times_days
+        span = days[-1]
+        inside = ib[(days > 0.62 * span) & (days < 0.75 * span)].mean()
+        outside = ib[days < 0.5 * span].mean()
+        assert inside > outside
+    # Check-introduction markers recorded.
+    assert "filesystem_mounts" in timeline.check_introductions

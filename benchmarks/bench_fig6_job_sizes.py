@@ -1,0 +1,39 @@
+"""Fig. 6: job-size distribution by jobs and by compute, both clusters."""
+
+from conftest import show
+
+from repro.analysis.job_sizes import job_size_distribution
+from repro.workload.profiles import rsc1_profile, rsc2_profile
+
+
+def test_fig6_rsc1(benchmark, bench_rsc1_trace):
+    result = benchmark(
+        job_size_distribution, bench_rsc1_trace, rsc1_profile()
+    )
+    show(
+        "Fig. 6 RSC-1 (paper: >40% 1-GPU jobs; >90% of jobs <= 1 server "
+        "yet <10% of GPU time; 256+ GPU jobs ~66% of compute at full "
+        "scale)",
+        result.render(),
+    )
+    assert result.job_fraction[1] > 0.40
+    assert result.fraction_of_jobs_at_most(8) > 0.88
+    assert sum(
+        f for s, f in result.compute_fraction.items() if s <= 8
+    ) < 0.12
+    # The full-scale profile (not the capped 128-node replica) carries the
+    # paper's 256+ share.
+    model_large = sum(
+        f for s, f in result.profile_compute_fraction.items() if s >= 256
+    )
+    assert 0.55 <= model_large <= 0.80
+
+
+def test_fig6_rsc2(benchmark, bench_rsc2_trace):
+    result = benchmark(job_size_distribution, bench_rsc2_trace, rsc2_profile())
+    show("Fig. 6 RSC-2 (paper: stronger 1-GPU tilt; 256+ ~52%)", result.render())
+    assert result.job_fraction[1] > 0.50
+    model_large = sum(
+        f for s, f in result.profile_compute_fraction.items() if s >= 256
+    )
+    assert 0.40 <= model_large <= 0.75

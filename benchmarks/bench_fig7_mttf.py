@@ -1,0 +1,31 @@
+"""Fig. 7: MTTF by job size, Gamma CIs, and the 1/(N r_f) projection."""
+
+from conftest import show
+
+from repro.analysis.mttf_analysis import mttf_analysis
+
+
+def test_fig7_mttf(benchmark, bench_rsc1_trace):
+    result = benchmark(mttf_analysis, bench_rsc1_trace)
+    show(
+        "Fig. 7 RSC-1 (paper: MTTF drops ~1/N; 8-GPU 47.7d vs 1024-GPU "
+        "7.9h; projected 16,384 GPUs -> 1.8h, 131,072 -> 0.23h at "
+        "r_f = 6.50/1k node-days)",
+        result.render(),
+    )
+    # Who wins: MTTF strictly decreasing from the smallest observed
+    # bucket with failures to the largest.
+    with_failures = [b for b in result.buckets if b.failures >= 2]
+    if len(with_failures) >= 2:
+        assert with_failures[0].mttf_hours > with_failures[-1].mttf_hours
+    # Extrapolations scale exactly as 1/N.
+    assert result.projection[16384] / result.projection[131072] == (
+        131072 / 16384
+    )
+
+
+def test_fig7_rsc2_more_reliable(benchmark, bench_rsc2_trace, bench_rsc1_trace):
+    rsc1 = mttf_analysis(bench_rsc1_trace)
+    rsc2 = benchmark(mttf_analysis, bench_rsc2_trace)
+    show("Fig. 7 RSC-2 (paper: tends to be more reliable)", rsc2.render())
+    assert rsc2.rf_per_1000_node_days < rsc1.rf_per_1000_node_days

@@ -1,0 +1,44 @@
+"""Fig. 8: lost goodput from failures + second-order preemption cascades."""
+
+from conftest import show
+
+from repro.analysis.goodput_loss import goodput_loss_analysis
+
+
+def test_fig8_goodput(benchmark, bench_rsc1_trace):
+    result = benchmark(goodput_loss_analysis, bench_rsc1_trace)
+    show(
+        "Fig. 8 RSC-1 (paper: losses dominated by the largest jobs; "
+        "~16% of total lost goodput is second-order preemptions from "
+        "much smaller jobs)",
+        result.render(),
+    )
+    assert result.total_gpu_hours_lost > 0
+    # Who wins: large buckets carry most of the direct loss.
+    direct = {l.gpus: l.direct_gpu_hours for l in result.losses}
+    if direct:
+        biggest_bucket = max(direct)
+        assert direct[biggest_bucket] >= max(
+            v for k, v in direct.items() if k <= 16
+        ) if any(k <= 16 for k in direct) else True
+    # Second-order share is material but minority.
+    assert 0.02 <= result.second_order_share <= 0.60
+    # Second-order losses come from smaller jobs than the direct ones.
+    second = [l for l in result.losses if l.n_second_order > 0]
+    if second:
+        assert min(l.gpus for l in second) <= 64
+
+
+def test_fig8_rsc2_smaller_absolute_loss(benchmark, bench_rsc2_trace, bench_rsc1_trace):
+    rsc1 = goodput_loss_analysis(bench_rsc1_trace)
+    rsc2 = benchmark(goodput_loss_analysis, bench_rsc2_trace)
+    show("Fig. 8 RSC-2 (paper: absolute loss an order of magnitude lower)",
+         rsc2.render())
+    # Normalize by capacity-time to compare across cluster sizes.
+    r1 = rsc1.total_gpu_hours_lost / (
+        bench_rsc1_trace.n_gpus * bench_rsc1_trace.span_seconds
+    )
+    r2 = rsc2.total_gpu_hours_lost / (
+        bench_rsc2_trace.n_gpus * bench_rsc2_trace.span_seconds
+    )
+    assert r2 < r1

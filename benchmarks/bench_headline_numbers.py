@@ -1,0 +1,25 @@
+"""Headline observations: utilization, HW impact, size shares, r_f."""
+
+from conftest import show
+
+from repro.analysis.headline import headline_numbers
+
+
+def test_headline_rsc1(benchmark, bench_rsc1_trace):
+    result = benchmark(headline_numbers, bench_rsc1_trace)
+    show("Headline numbers, RSC-1", result.render())
+    assert 0.75 <= result.utilization <= 1.0  # paper: 83%
+    assert result.hw_job_fraction < 0.01  # paper: <1% of jobs
+    assert result.hw_gpu_time_fraction > 0.03  # runtime impact much larger
+    assert result.small_job_fraction > 0.88  # paper: >90%
+    assert result.small_job_gpu_time_fraction < 0.12  # paper: <10%
+    assert 4.0 < result.rf_per_1000_node_days < 15.0  # paper: 6.50
+
+
+def test_headline_rsc2(benchmark, bench_rsc2_trace, bench_rsc1_trace):
+    result = benchmark(headline_numbers, bench_rsc2_trace)
+    show("Headline numbers, RSC-2", result.render())
+    rsc1 = headline_numbers(bench_rsc1_trace)
+    assert result.rf_per_1000_node_days < rsc1.rf_per_1000_node_days
+    assert 1.0 < result.rf_per_1000_node_days < 7.0  # paper: 2.34
+    assert result.small_job_fraction > 0.90

@@ -1,0 +1,42 @@
+"""Table I: the failure taxonomy and differential diagnosis."""
+
+from conftest import show
+
+from repro.analysis.report import render_table
+from repro.core.taxonomy import (
+    FAILURE_TAXONOMY,
+    FailureDomain,
+    FailureSymptom,
+    diagnose,
+)
+
+
+def taxonomy_rows():
+    rows = []
+    for symptom, entry in FAILURE_TAXONOMY.items():
+        rows.append(
+            (
+                symptom.value,
+                "Y" if FailureDomain.USER_PROGRAM in entry.domains else "-",
+                "Y" if FailureDomain.SYSTEM_SOFTWARE in entry.domains else "-",
+                "Y" if FailureDomain.HARDWARE_INFRA in entry.domains else "-",
+                ", ".join(entry.likely_causes),
+            )
+        )
+    return rows
+
+
+def test_table1_taxonomy(benchmark):
+    rows = benchmark(taxonomy_rows)
+    assert len(rows) == len(FailureSymptom)
+    show(
+        "Table I — failure taxonomy",
+        render_table(
+            ["symptom", "user", "syssw", "hw", "likely causes"], rows
+        ),
+    )
+    # Differential diagnosis sanity: NCCL timeout narrows after exclusions.
+    remaining = diagnose(
+        FailureSymptom.NCCL_TIMEOUT, ruled_out=[FailureDomain.USER_PROGRAM]
+    )
+    assert len(remaining) == 2

@@ -1,0 +1,26 @@
+"""Table II: lemon-node root-cause distribution."""
+
+from conftest import show
+
+from repro.analysis.report import render_table
+from repro.cluster.cluster import LEMON_ROOT_CAUSE_MIX
+from repro.core.lemon import root_cause_table
+
+
+def test_table2_root_causes(benchmark, bench_rsc1_trace, bench_rsc2_trace):
+    nodes = bench_rsc1_trace.node_records + bench_rsc2_trace.node_records
+    causes = benchmark(root_cause_table, nodes)
+    paper = {c.value: p for c, p in LEMON_ROOT_CAUSE_MIX}
+    rows = [
+        (component, f"{paper.get(component, 0.0):.1%}", f"{measured:.1%}")
+        for component, measured in causes.items()
+    ]
+    show(
+        "Table II (paper: GPU 28.2%, DIMM 20.5%, PCIe 15.4%, EUD 10.3%, "
+        "NIC/BIOS 7.7%, PSU 5.1%, CPU/Optics 2.6%)",
+        render_table(["component", "paper", "measured"], rows),
+    )
+    assert sum(causes.values()) == 1.0 or abs(sum(causes.values()) - 1.0) < 1e-9
+    # GPU-domain causes lead the table, as in the paper.
+    top = next(iter(causes))
+    assert top in ("gpu", "host_memory", "pcie")

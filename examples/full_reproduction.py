@@ -1,0 +1,176 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Simulates scaled-down RSC-1 and RSC-2 campaigns and renders the ASCII
+equivalent of Table I/II and Figs. 3-12, writing the combined report to
+``reproduction_report.txt`` (and stdout).  This is the script behind
+EXPERIMENTS.md.
+
+Run:  python examples/full_reproduction.py [--fast]
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis import (
+    attributed_failure_rates,
+    checkpoint_sweep,
+    ettr_comparison,
+    failure_rate_timeline,
+    fleet_report,
+    goodput_loss_analysis,
+    headline_numbers,
+    job_size_distribution,
+    job_status_breakdown,
+    lemon_analysis,
+    mttf_analysis,
+    queue_wait_analysis,
+    render_table,
+    swap_rate_comparison,
+)
+from repro.core.taxonomy import FAILURE_TAXONOMY, FailureDomain
+from repro.sim.timeunits import HOUR
+from repro.workload.profiles import rsc1_profile, rsc2_profile
+
+
+def render_table1() -> str:
+    rows = []
+    for symptom, entry in FAILURE_TAXONOMY.items():
+        rows.append(
+            (
+                symptom.value,
+                "Y" if FailureDomain.USER_PROGRAM in entry.domains else "-",
+                "Y" if FailureDomain.SYSTEM_SOFTWARE in entry.domains else "-",
+                "Y" if FailureDomain.HARDWARE_INFRA in entry.domains else "-",
+                ", ".join(entry.likely_causes),
+            )
+        )
+    return render_table(
+        ["symptom", "user", "syssw", "hw", "likely causes"],
+        rows,
+        title="Table I — failure taxonomy",
+    )
+
+
+def render_fig12() -> str:
+    from repro.network import (
+        AdaptiveRouting,
+        FabricSpec,
+        FabricTopology,
+        StaticRouting,
+        concurrent_allreduce_bandwidths,
+        inject_bit_errors,
+        restore_all,
+        ring_allreduce_bandwidth,
+    )
+
+    fabric = FabricTopology(FabricSpec(n_servers=64))
+    servers = list(range(64))
+    rng = np.random.default_rng(12)
+    lines = ["Fig. 12a — 512-GPU all-reduce under bit errors"]
+    for iteration in range(5):
+        restore_all(fabric)
+        inject_bit_errors(fabric, 0.25, 5e-5, rng)
+        s = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+        a = ring_allreduce_bandwidth(fabric, servers, AdaptiveRouting())
+        lines.append(
+            f"  iter {iteration + 1}: no-AR {s.bus_bandwidth_gbps:7.0f} Gb/s"
+            f"   AR {a.bus_bandwidth_gbps:7.0f} Gb/s"
+        )
+    restore_all(fabric)
+    lines.append("Fig. 12b — 32 concurrent 2-server rings")
+    for policy in (StaticRouting(), AdaptiveRouting()):
+        prng = np.random.default_rng(7)
+        bws = []
+        for _ in range(5):
+            left = prng.permutation(32)
+            right = prng.permutation(np.arange(32, 64))
+            groups = [(int(x), int(y)) for x, y in zip(left, right)]
+            bws += [
+                r.bus_bandwidth_gbps
+                for r in concurrent_allreduce_bandwidths(fabric, groups, policy)
+            ]
+        bws = np.asarray(bws)
+        lines.append(
+            f"  {policy.name:>8}: mean {bws.mean():6.0f}  std {bws.std():6.0f}"
+            f"  min {bws.min():6.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller campaigns (~1 minute total)",
+    )
+    parser.add_argument("--out", default="reproduction_report.txt")
+    args = parser.parse_args()
+
+    if args.fast:
+        rsc1_nodes, rsc1_days = 64, 40
+        rsc2_nodes, rsc2_days = 48, 30
+    else:
+        rsc1_nodes, rsc1_days = 128, 60
+        rsc2_nodes, rsc2_days = 96, 45
+
+    t0 = time.time()
+    print(f"simulating RSC-1 ({rsc1_nodes} nodes, {rsc1_days} days) ...")
+    rsc1 = run_campaign(
+        CampaignConfig(
+            cluster_spec=ClusterSpec.rsc1_like(
+                n_nodes=rsc1_nodes, campaign_days=rsc1_days
+            ),
+            duration_days=rsc1_days,
+            seed=2025,
+        )
+    )
+    print(f"simulating RSC-2 ({rsc2_nodes} nodes, {rsc2_days} days) ...")
+    rsc2 = run_campaign(
+        CampaignConfig(
+            cluster_spec=ClusterSpec.rsc2_like(
+                n_nodes=rsc2_nodes, campaign_days=rsc2_days
+            ),
+            duration_days=rsc2_days,
+            seed=2025,
+        )
+    )
+    print(f"campaigns done in {time.time() - t0:.0f}s; analyzing ...\n")
+
+    sections = [
+        render_table1(),
+        job_status_breakdown(rsc1).render(),
+        attributed_failure_rates(rsc1).render(),
+        attributed_failure_rates(rsc2).render(),
+        failure_rate_timeline(rsc1).render(),
+        job_size_distribution(rsc1, rsc1_profile()).render(),
+        job_size_distribution(rsc2, rsc2_profile()).render(),
+        mttf_analysis(rsc1).render(),
+        mttf_analysis(rsc2).render(),
+        goodput_loss_analysis(rsc1).render(),
+        goodput_loss_analysis(rsc2).render(),
+        ettr_comparison(
+            rsc1, min_total_runtime=24 * HOUR, qos=None, min_runs_per_bucket=2
+        ).render(),
+        checkpoint_sweep().render(),
+        lemon_analysis(rsc1).render(),
+        render_fig12(),
+        swap_rate_comparison(rsc1, rsc2).render(),
+        queue_wait_analysis(rsc1).render(),
+        headline_numbers(rsc1).render(),
+        headline_numbers(rsc2).render(),
+        fleet_report(rsc1).render(),
+        fleet_report(rsc2).render(),
+    ]
+    report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
+    print(report)
+    with open(args.out, "w") as fh:
+        fh.write(report + "\n")
+    print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Reproduce the adaptive-routing experiments of Section IV-B (Fig. 12).
+
+Experiment A: a 512-GPU (64-server) ring all-reduce while a quarter of the
+leaf-spine links carry injected bit errors (the paper used ``mlxreg`` on
+real switches).  Static hash routing keeps sending flows through sick
+links; adaptive routing steers around them.
+
+Experiment B: 32 concurrent 2-server all-reduce rings flooding the fabric.
+Adaptive routing spreads flows over spines, raising the worst group's
+bandwidth and cutting run-to-run variance.
+
+Run:  python examples/network_resilience.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.network import (
+    AdaptiveRouting,
+    FabricSpec,
+    FabricTopology,
+    StaticRouting,
+    concurrent_allreduce_bandwidths,
+    inject_bit_errors,
+    restore_all,
+    ring_allreduce_bandwidth,
+)
+
+N_SERVERS = 64
+
+
+def experiment_a(fabric) -> None:
+    print("=== Fig. 12a: all-reduce under injected bit errors ===")
+    servers = list(range(N_SERVERS))
+    rng = np.random.default_rng(12)
+    rows = []
+    for iteration in range(5):
+        restore_all(fabric)
+        inject_bit_errors(fabric, 0.25, 5e-5, rng)
+        static = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+        adaptive = ring_allreduce_bandwidth(fabric, servers, AdaptiveRouting())
+        rows.append(
+            (
+                iteration + 1,
+                f"{static.bus_bandwidth_gbps:.0f}",
+                f"{adaptive.bus_bandwidth_gbps:.0f}",
+                static.bottleneck_link,
+            )
+        )
+    restore_all(fabric)
+    clean = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+    print(
+        render_table(
+            ["iter", "no-AR Gb/s", "AR Gb/s", "no-AR bottleneck"],
+            rows,
+        )
+    )
+    print(f"clean-fabric reference: {clean.bus_bandwidth_gbps:.0f} Gb/s\n")
+
+
+def experiment_b(fabric) -> None:
+    print("=== Fig. 12b: 32 concurrent 16-GPU all-reduce groups ===")
+    restore_all(fabric)
+    stats = []
+    for policy in (StaticRouting(), AdaptiveRouting()):
+        rng = np.random.default_rng(7)
+        bws = []
+        for _ in range(5):
+            left = rng.permutation(N_SERVERS // 2)
+            right = rng.permutation(np.arange(N_SERVERS // 2, N_SERVERS))
+            groups = [(int(a), int(b)) for a, b in zip(left, right)]
+            results = concurrent_allreduce_bandwidths(fabric, groups, policy)
+            bws += [r.bus_bandwidth_gbps for r in results]
+        bws = np.asarray(bws)
+        stats.append(
+            (
+                policy.name,
+                f"{bws.mean():.0f}",
+                f"{bws.std():.0f}",
+                f"{bws.min():.0f}",
+                f"{bws.max():.0f}",
+            )
+        )
+    print(render_table(["routing", "mean", "std", "min", "max"], stats))
+    print(
+        "\nAdaptive routing lifts the contended tail and narrows the "
+        "spread, matching the paper's Fig. 12b."
+    )
+
+
+def main() -> None:
+    fabric = FabricTopology(FabricSpec(n_servers=N_SERVERS))
+    print(f"fabric: {fabric}\n")
+    experiment_a(fabric)
+    experiment_b(fabric)
+
+
+if __name__ == "__main__":
+    main()

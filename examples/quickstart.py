@@ -1,0 +1,35 @@
+"""Quickstart: simulate a scaled-down RSC-1 campaign and read the basics.
+
+Runs a 64-node (512-GPU), 30-day campaign — a miniature of the paper's
+11-month, 2000-node RSC-1 — then prints the Fig. 3 job-status breakdown,
+the Fig. 6 size distribution, and the headline reliability numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis import (
+    headline_numbers,
+    job_size_distribution,
+    job_status_breakdown,
+)
+
+
+def main() -> None:
+    spec = ClusterSpec.rsc1_like(n_nodes=64, campaign_days=30)
+    config = CampaignConfig(cluster_spec=spec, duration_days=30, seed=42)
+    print(f"simulating {spec.name}: {spec.n_gpus} GPUs for 30 days ...")
+    trace = run_campaign(config)
+    print(
+        f"done: {len(trace.job_records)} attempt records, "
+        f"{len(trace.events)} events\n"
+    )
+    print(job_status_breakdown(trace).render())
+    print()
+    print(job_size_distribution(trace).render())
+    print()
+    print(headline_numbers(trace).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""What-if analysis by trace replay.
+
+A cluster operator's recurring question: "if we had fixed X last quarter,
+what would our users have experienced?"  This example records a baseline
+campaign, then replays its *exact workload* against three counterfactual
+clusters:
+
+1. the same cluster (sanity check),
+2. a cluster with the lemon nodes repaired (lemon_fraction = 0),
+3. a cluster with 4x lower component failure rates (a hardware refresh).
+
+Replay reconstructs each job's submission time, size, QoS, and realized
+work from the trace alone — no generator state needed — so the same
+technique applies to any saved trace.
+
+Run:  python examples/what_if_replay.py
+"""
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis.report import render_table
+from repro.workload.replay import replay_trace
+
+
+def summarize(trace):
+    hw = len(trace.hw_failure_records())
+    util = trace.total_gpu_seconds() / (trace.n_gpus * trace.span_seconds)
+    completed = sum(
+        1 for r in trace.job_records if r.state.value == "COMPLETED"
+    )
+    return hw, util, completed
+
+
+def main() -> None:
+    base_spec = ClusterSpec.rsc1_like(
+        n_nodes=48,
+        campaign_days=30,
+        lemon_fraction=0.08,
+        lemon_fail_per_day=0.3,
+        enable_episodic_regimes=False,
+    )
+    print("recording the baseline quarter ...")
+    baseline = run_campaign(
+        CampaignConfig(cluster_spec=base_spec, duration_days=30, seed=31)
+    )
+
+    scenarios = {
+        "same cluster (replay sanity)": base_spec,
+        "lemons repaired": ClusterSpec.rsc1_like(
+            n_nodes=48,
+            campaign_days=30,
+            lemon_fraction=0.0,
+            enable_episodic_regimes=False,
+        ),
+        "hardware refresh (rates / 4)": ClusterSpec(
+            name="RSC-1-refresh",
+            n_nodes=48,
+            component_rates={
+                k: v * 0.25 for k, v in base_spec.component_rates.items()
+            },
+            campaign_days=30,
+            lemon_fraction=0.0,
+            enable_episodic_regimes=False,
+        ),
+    }
+
+    rows = []
+    hw, util, completed = summarize(baseline)
+    rows.append(("recorded baseline", hw, f"{util:.1%}", completed))
+    for name, spec in scenarios.items():
+        print(f"replaying workload on: {name} ...")
+        replayed = replay_trace(baseline, spec, seed=1)
+        hw, util, completed = summarize(replayed)
+        rows.append((name, hw, f"{util:.1%}", completed))
+
+    print()
+    print(
+        render_table(
+            ["scenario", "HW interruptions", "utilization", "jobs completed"],
+            rows,
+            title="What-if replay of one recorded month",
+        )
+    )
+    print(
+        "\nThe replayed workload is identical across scenarios (compare "
+        "the three replay rows, which share one failure seed): repairing "
+        "the lemons removes most interruptions, and the hardware refresh "
+        "removes nearly all.  The recorded baseline row used the original "
+        "campaign's own failure draws."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Kept for offline editable installs (`pip install -e . --no-use-pep517`);
+# all metadata lives in pyproject.toml.
+setup()

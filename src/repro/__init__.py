@@ -1,0 +1,59 @@
+"""repro — reproduction of "Revisiting Reliability in Large-Scale Machine
+Learning Research Clusters" (HPCA 2025).
+
+The package has three layers:
+
+1. **Substrates** — a discrete-event simulator (:mod:`repro.sim`), a
+   component-level cluster hardware model with health checks and
+   remediation (:mod:`repro.cluster`), a rail-optimized fabric with
+   adaptive routing (:mod:`repro.network`), a Slurm-semantics gang
+   scheduler (:mod:`repro.scheduler`), and a calibrated synthetic workload
+   (:mod:`repro.workload`).
+2. **Core** (:mod:`repro.core`) — the paper's contribution: the failure
+   taxonomy, attribution, ETTR/MTTF/goodput models, lemon-node detection,
+   and checkpoint design-space tools.
+3. **Analysis** (:mod:`repro.analysis`) — one module per table/figure,
+   consuming traces produced by :mod:`repro.campaign`.
+
+Quickstart::
+
+    from repro import CampaignConfig, ClusterSpec, run_campaign
+    from repro.analysis import job_status_breakdown
+
+    spec = ClusterSpec.rsc1_like(n_nodes=64, campaign_days=30)
+    trace = run_campaign(CampaignConfig(cluster_spec=spec, duration_days=30))
+    print(job_status_breakdown(trace).render())
+"""
+
+from repro.campaign import Campaign, CampaignConfig, run_campaign
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.jobtypes import (
+    IntendedOutcome,
+    JobAttemptRecord,
+    JobState,
+    MAX_JOB_LIFETIME,
+    QosTier,
+)
+from repro.workload.profiles import WorkloadProfile, rsc1_profile, rsc2_profile
+from repro.workload.trace import NodeTraceRecord, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "run_campaign",
+    "Cluster",
+    "ClusterSpec",
+    "IntendedOutcome",
+    "JobAttemptRecord",
+    "JobState",
+    "MAX_JOB_LIFETIME",
+    "QosTier",
+    "WorkloadProfile",
+    "rsc1_profile",
+    "rsc2_profile",
+    "NodeTraceRecord",
+    "Trace",
+    "__version__",
+]

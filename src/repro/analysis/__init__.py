@@ -1,0 +1,68 @@
+"""Analysis pipeline: one module per table/figure of the paper.
+
+Every module consumes a :class:`~repro.workload.trace.Trace` (and nothing
+live), returns a typed result object, and can render itself as the ASCII
+equivalent of the paper's artifact via :mod:`repro.analysis.report`.
+"""
+
+from repro.analysis.job_status import JobStatusBreakdown, job_status_breakdown
+from repro.analysis.failure_rates import FailureRateTable, attributed_failure_rates
+from repro.analysis.rolling_failures import (
+    FailureRateTimeline,
+    failure_rate_timeline,
+)
+from repro.analysis.job_sizes import JobSizeDistribution, job_size_distribution
+from repro.analysis.mttf_analysis import MTTFAnalysis, mttf_analysis
+from repro.analysis.goodput_loss import GoodputLossAnalysis, goodput_loss_analysis
+from repro.analysis.ettr_analysis import ETTRComparison, ettr_comparison
+from repro.analysis.checkpoint_sweep import CheckpointSweep, checkpoint_sweep
+from repro.analysis.lemon_analysis import LemonAnalysis, lemon_analysis
+from repro.analysis.headline import HeadlineNumbers, headline_numbers
+from repro.analysis.check_introduction import (
+    CheckIntroductionEffect,
+    check_introduction_effect,
+)
+from repro.analysis.fleet_report import FleetReport, fleet_report
+from repro.analysis.queue_waits import QueueWaitAnalysis, queue_wait_analysis
+from repro.analysis.swap_rates import (
+    SwapRateComparison,
+    SwapRateSummary,
+    swap_rate_comparison,
+    swap_rate_summary,
+)
+from repro.analysis.report import render_table, render_bars
+
+__all__ = [
+    "JobStatusBreakdown",
+    "job_status_breakdown",
+    "FailureRateTable",
+    "attributed_failure_rates",
+    "FailureRateTimeline",
+    "failure_rate_timeline",
+    "JobSizeDistribution",
+    "job_size_distribution",
+    "MTTFAnalysis",
+    "mttf_analysis",
+    "GoodputLossAnalysis",
+    "goodput_loss_analysis",
+    "ETTRComparison",
+    "ettr_comparison",
+    "CheckpointSweep",
+    "checkpoint_sweep",
+    "LemonAnalysis",
+    "lemon_analysis",
+    "HeadlineNumbers",
+    "headline_numbers",
+    "CheckIntroductionEffect",
+    "check_introduction_effect",
+    "FleetReport",
+    "fleet_report",
+    "QueueWaitAnalysis",
+    "queue_wait_analysis",
+    "SwapRateComparison",
+    "SwapRateSummary",
+    "swap_rate_comparison",
+    "swap_rate_summary",
+    "render_table",
+    "render_bars",
+]

@@ -1,0 +1,107 @@
+"""The operator's one-page fleet report.
+
+Condenses a campaign trace into the numbers a cluster operator tracks
+week over week: utilization, failure rate and MTTF-at-scale, the top
+failure modes, lemon suspects, queue health, and the goodput bleed.  This
+is the composite view behind the paper's "tracking reliability metrics"
+operational lesson, and the body of the CLI's ``report`` subcommand.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.failure_rates import attributed_failure_rates
+from repro.analysis.goodput_loss import goodput_loss_analysis
+from repro.analysis.job_status import job_status_breakdown
+from repro.analysis.lemon_analysis import lemon_analysis
+from repro.analysis.mttf_analysis import mttf_analysis
+from repro.analysis.queue_waits import queue_wait_analysis
+from repro.analysis.report import render_table
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything the weekly ops review asks about, precomputed."""
+
+    cluster_name: str
+    span_days: float
+    utilization: float
+    rf_per_1000_node_days: float
+    projected_mttf_16k_hours: float
+    top_failure_modes: Tuple[Tuple[str, float], ...]
+    lemon_suspects: Tuple[int, ...]
+    goodput_lost_gpu_hours: float
+    second_order_share: float
+    median_wait_minutes: float
+    p90_wait_hours: float
+    completed_fraction: float
+    hw_job_fraction: float
+
+    def render(self) -> str:
+        rows = [
+            ("span", f"{self.span_days:.0f} days"),
+            ("utilization", f"{self.utilization:.1%}"),
+            ("r_f (per 1000 node-days)", f"{self.rf_per_1000_node_days:.2f}"),
+            (
+                "projected MTTF @ 16k GPUs",
+                f"{self.projected_mttf_16k_hours:.2f} h",
+            ),
+            ("jobs completed", f"{self.completed_fraction:.1%}"),
+            ("jobs hit by hardware", f"{self.hw_job_fraction:.2%}"),
+            (
+                "goodput lost to failures",
+                f"{self.goodput_lost_gpu_hours:.0f} GPU-h "
+                f"({self.second_order_share:.0%} second-order)",
+            ),
+            ("median queue wait", f"{self.median_wait_minutes:.1f} min"),
+            ("p90 queue wait", f"{self.p90_wait_hours:.2f} h"),
+            (
+                "top failure modes",
+                ", ".join(f"{m} ({r:.1f}/1M GPU-h)" for m, r in self.top_failure_modes),
+            ),
+            (
+                "lemon suspects",
+                ", ".join(str(n) for n in self.lemon_suspects) or "none",
+            ),
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=f"Fleet report — {self.cluster_name}",
+        )
+
+
+def fleet_report(trace: Trace) -> FleetReport:
+    """Build the one-page report from a trace."""
+    from repro.jobtypes import JobState
+    from repro.sim.timeunits import DAY
+
+    status = job_status_breakdown(trace)
+    mttf = mttf_analysis(trace)
+    rates = attributed_failure_rates(trace)
+    goodput = goodput_loss_analysis(trace)
+    waits = queue_wait_analysis(trace)
+    try:
+        lemons = lemon_analysis(trace).report.flagged_node_ids
+    except ValueError:
+        lemons = ()
+    all_waits = [r.queue_wait for r in trace.job_records]
+    return FleetReport(
+        cluster_name=trace.cluster_name,
+        span_days=trace.span_seconds / DAY,
+        utilization=trace.total_gpu_seconds()
+        / (trace.n_gpus * trace.span_seconds),
+        rf_per_1000_node_days=mttf.rf_per_1000_node_days,
+        projected_mttf_16k_hours=mttf.projection.get(16384, float("nan")),
+        top_failure_modes=tuple(list(rates.rates.items())[:4]),
+        lemon_suspects=tuple(lemons),
+        goodput_lost_gpu_hours=goodput.total_gpu_hours_lost,
+        second_order_share=goodput.second_order_share,
+        median_wait_minutes=float(np.median(all_waits)) / 60.0,
+        p90_wait_hours=float(np.percentile(all_waits, 90)) / 3600.0,
+        completed_fraction=status.job_fraction.get(JobState.COMPLETED, 0.0),
+        hw_job_fraction=status.hw_job_fraction,
+    )

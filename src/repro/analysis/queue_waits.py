@@ -1,0 +1,116 @@
+"""Queue-wait characterization by QoS tier and job size.
+
+Queueing is half of ETTR's denominator ("the total time a job was either
+scheduled or eligible to be scheduled but waiting in the queue") and the
+paper repeatedly leans on queue behaviour: high-priority jobs wait little,
+requeued large jobs preempt their way back quickly, and the two-hour
+shield protects low-priority progress.  This module surfaces those
+distributions from a trace.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.mttf import size_bucket
+from repro.jobtypes import JobState, QosTier
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class WaitStats:
+    """Wait distribution for one cohort of attempts."""
+
+    n: int
+    median_seconds: float
+    p90_seconds: float
+    mean_seconds: float
+
+
+def _stats(waits: List[float]) -> WaitStats:
+    arr = np.asarray(waits)
+    return WaitStats(
+        n=int(arr.size),
+        median_seconds=float(np.median(arr)),
+        p90_seconds=float(np.percentile(arr, 90)),
+        mean_seconds=float(arr.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class QueueWaitAnalysis:
+    """Waits by QoS, by size bucket, and for requeued attempts."""
+
+    cluster_name: str
+    by_qos: Dict[QosTier, WaitStats]
+    by_size: Dict[int, WaitStats]
+    first_attempts: WaitStats
+    requeued_attempts: WaitStats
+
+    def render(self) -> str:
+        rows = []
+        for qos, stats in sorted(self.by_qos.items(), key=lambda kv: -kv[0]):
+            rows.append(
+                (
+                    f"qos={qos.name.lower()}",
+                    stats.n,
+                    f"{stats.median_seconds / 60:.1f}m",
+                    f"{stats.p90_seconds / 3600:.2f}h",
+                )
+            )
+        for size, stats in sorted(self.by_size.items()):
+            rows.append(
+                (
+                    f"{size} GPUs",
+                    stats.n,
+                    f"{stats.median_seconds / 60:.1f}m",
+                    f"{stats.p90_seconds / 3600:.2f}h",
+                )
+            )
+        rows.append(
+            (
+                "first attempts",
+                self.first_attempts.n,
+                f"{self.first_attempts.median_seconds / 60:.1f}m",
+                f"{self.first_attempts.p90_seconds / 3600:.2f}h",
+            )
+        )
+        rows.append(
+            (
+                "requeued attempts",
+                self.requeued_attempts.n,
+                f"{self.requeued_attempts.median_seconds / 60:.1f}m",
+                f"{self.requeued_attempts.p90_seconds / 3600:.2f}h",
+            )
+        )
+        return render_table(
+            ["cohort", "attempts", "median wait", "p90 wait"],
+            rows,
+            title=f"Queue waits ({self.cluster_name})",
+        )
+
+
+def queue_wait_analysis(trace: Trace) -> QueueWaitAnalysis:
+    """Compute wait distributions from a trace's attempt records."""
+    records = trace.job_records
+    if not records:
+        raise ValueError("trace has no job records")
+    by_qos: Dict[QosTier, List[float]] = {}
+    by_size: Dict[int, List[float]] = {}
+    first: List[float] = []
+    requeued: List[float] = []
+    for record in records:
+        by_qos.setdefault(record.qos, []).append(record.queue_wait)
+        by_size.setdefault(size_bucket(record.n_gpus), []).append(
+            record.queue_wait
+        )
+        (first if record.attempt == 0 else requeued).append(record.queue_wait)
+    return QueueWaitAnalysis(
+        cluster_name=trace.cluster_name,
+        by_qos={qos: _stats(waits) for qos, waits in by_qos.items()},
+        by_size={size: _stats(waits) for size, waits in by_size.items()},
+        first_attempts=_stats(first) if first else _stats([0.0]),
+        requeued_attempts=_stats(requeued) if requeued else _stats([0.0]),
+    )

@@ -1,0 +1,87 @@
+"""GPU swap-rate corroboration (Section III).
+
+The paper cross-checks its failure-rate estimates against the fleet's GPU
+swap logs: "RSC-1 GPUs are swapped at ~3 times the rate compared to
+RSC-2; both the GPU swap rate and failure rate differences may be due to
+differing workloads that tax GPUs on RSC-1 more heavily."
+
+Swaps here come from the remediation workflow: permanent faults in the
+GPU domain (GPU, HBM, NVLink, PCIe) replace the tray and increment the
+node's swap counter.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.report import render_table
+from repro.sim.timeunits import DAY
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class SwapRateSummary:
+    """Fleet GPU swap statistics for one campaign."""
+
+    cluster_name: str
+    total_swaps: int
+    n_gpus: int
+    span_days: float
+
+    @property
+    def swaps_per_1000_gpu_years(self) -> float:
+        gpu_years = self.n_gpus * self.span_days / 365.25
+        if gpu_years <= 0:
+            raise ValueError("campaign has no GPU exposure")
+        return 1000.0 * self.total_swaps / gpu_years
+
+
+@dataclass(frozen=True)
+class SwapRateComparison:
+    """The RSC-1-vs-RSC-2 swap-rate cross-check."""
+
+    primary: SwapRateSummary
+    secondary: SwapRateSummary
+
+    @property
+    def ratio(self) -> float:
+        """Primary's swap rate over secondary's (paper: ~3x)."""
+        denom = self.secondary.swaps_per_1000_gpu_years
+        if denom == 0:
+            return float("inf")
+        return self.primary.swaps_per_1000_gpu_years / denom
+
+    def render(self) -> str:
+        rows = [
+            (
+                s.cluster_name,
+                s.total_swaps,
+                f"{s.swaps_per_1000_gpu_years:.1f}",
+            )
+            for s in (self.primary, self.secondary)
+        ]
+        table = render_table(
+            ["cluster", "GPU swaps", "swaps / 1000 GPU-years"],
+            rows,
+            title="GPU swap rates (paper: RSC-1 ~3x RSC-2)",
+        )
+        return table + f"\nratio: {self.ratio:.2f}x"
+
+
+def swap_rate_summary(trace: Trace) -> SwapRateSummary:
+    """Summarize a campaign's GPU swaps from its node records."""
+    if not trace.node_records:
+        raise ValueError("trace has no node records")
+    return SwapRateSummary(
+        cluster_name=trace.cluster_name,
+        total_swaps=sum(rec.gpu_swaps for rec in trace.node_records),
+        n_gpus=trace.n_gpus,
+        span_days=trace.span_seconds / DAY,
+    )
+
+
+def swap_rate_comparison(primary: Trace, secondary: Trace) -> SwapRateComparison:
+    """Compare two campaigns' swap rates (Section III's cross-check)."""
+    return SwapRateComparison(
+        primary=swap_rate_summary(primary),
+        secondary=swap_rate_summary(secondary),
+    )

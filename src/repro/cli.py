@@ -1,0 +1,228 @@
+"""Command-line interface: run campaigns and regenerate analyses.
+
+Subcommands::
+
+    repro campaign  --cluster rsc1 --nodes 64 --days 30 --seed 42 \
+                    --out trace.jsonl [--lemon-detection] [--risk-aware]
+    repro analyze   --trace trace.jsonl --figure fig3
+    repro analyze   --trace trace.jsonl --figure all
+    repro sweep     [--gpus 100000]
+    repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.sim.timeunits import HOUR, MINUTE
+from repro.workload.trace import Trace
+
+#: figure name -> callable(trace) returning a renderable result
+_FIGURES = {
+    "fig3": "job status breakdown",
+    "fig4": "attributed failure rates",
+    "fig5": "failure-rate evolution",
+    "fig6": "job-size distribution",
+    "fig7": "MTTF by size + projection",
+    "fig8": "lost goodput",
+    "fig9": "expected vs measured ETTR",
+    "fig11": "lemon signals + Table II",
+    "headline": "headline observations",
+}
+
+
+def _render_figure(name: str, trace: Trace) -> str:
+    from repro.analysis import (
+        attributed_failure_rates,
+        ettr_comparison,
+        failure_rate_timeline,
+        goodput_loss_analysis,
+        headline_numbers,
+        job_size_distribution,
+        job_status_breakdown,
+        lemon_analysis,
+        mttf_analysis,
+    )
+
+    if name == "fig3":
+        return job_status_breakdown(trace).render()
+    if name == "fig4":
+        return attributed_failure_rates(trace).render()
+    if name == "fig5":
+        return failure_rate_timeline(trace).render()
+    if name == "fig6":
+        return job_size_distribution(trace).render()
+    if name == "fig7":
+        return mttf_analysis(trace).render()
+    if name == "fig8":
+        return goodput_loss_analysis(trace).render()
+    if name == "fig9":
+        return ettr_comparison(
+            trace, min_total_runtime=12 * HOUR, qos=None, min_runs_per_bucket=2
+        ).render()
+    if name == "fig11":
+        return lemon_analysis(trace).render()
+    if name == "headline":
+        return headline_numbers(trace).render()
+    raise KeyError(name)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.cluster == "rsc1":
+        spec = ClusterSpec.rsc1_like(n_nodes=args.nodes, campaign_days=args.days)
+    else:
+        spec = ClusterSpec.rsc2_like(n_nodes=args.nodes, campaign_days=args.days)
+    config = CampaignConfig(
+        cluster_spec=spec,
+        duration_days=args.days,
+        seed=args.seed,
+        lemon_detection=args.lemon_detection,
+        reliability_aware_placement=args.risk_aware,
+    )
+    print(
+        f"simulating {spec.name}: {spec.n_gpus} GPUs x {args.days} days "
+        f"(seed {args.seed}) ...",
+        file=sys.stderr,
+    )
+    trace = run_campaign(config)
+    trace.save(args.out)
+    print(
+        f"wrote {args.out}: {len(trace.job_records)} attempt records, "
+        f"{len(trace.events)} events",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    names = list(_FIGURES) if args.figure == "all" else [args.figure]
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        try:
+            print(_render_figure(name, trace))
+        except ValueError as err:
+            print(f"{name}: not computable on this trace ({err})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.fleet_report import fleet_report
+
+    trace = Trace.load(args.trace)
+    print(fleet_report(trace).render())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+
+    trace = Trace.load(args.trace)
+    written = export_all(trace, args.out_dir)
+    for name, path in sorted(written.items()):
+        print(f"{name}: {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.checkpoint_sweep import checkpoint_sweep
+
+    print(checkpoint_sweep(n_gpus=args.gpus).render())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.checkpoint import required_checkpoint_interval
+
+    n_nodes = max(1, args.gpus // 8)
+    rf = args.rf / 1000.0
+    try:
+        dt = required_checkpoint_interval(
+            args.target_ettr,
+            n_nodes=n_nodes,
+            failure_rate_per_node_day=rf,
+            restart_overhead=args.restart_min * MINUTE,
+        )
+    except ValueError as err:
+        print(f"target unreachable: {err}")
+        return 1
+    mttf_hours = 24.0 / (n_nodes * rf) if rf > 0 else float("inf")
+    print(
+        f"{args.gpus:,} GPUs at r_f={args.rf}/1000 node-days "
+        f"(job MTTF {mttf_hours:.2f} h):"
+    )
+    if dt == float("inf"):
+        print(f"  ETTR {args.target_ettr}: any checkpoint interval works")
+    else:
+        print(
+            f"  ETTR {args.target_ettr}: checkpoint every "
+            f"{dt / MINUTE:.1f} minutes "
+            f"(restart overhead {args.restart_min:.0f} min)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Revisiting Reliability in "
+            "Large-Scale ML Research Clusters' (HPCA 2025)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("campaign", help="simulate a cluster campaign")
+    p.add_argument("--cluster", choices=("rsc1", "rsc2"), default="rsc1")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.jsonl")
+    p.add_argument("--lemon-detection", action="store_true")
+    p.add_argument("--risk-aware", action="store_true",
+                   help="reliability-aware gang placement")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("analyze", help="render figures from a saved trace")
+    p.add_argument("--trace", required=True)
+    p.add_argument(
+        "--figure", choices=sorted(_FIGURES) + ["all"], default="headline"
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("report", help="one-page fleet report from a trace")
+    p.add_argument("--trace", required=True)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("export", help="export figure data as CSV")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--out-dir", default="figures")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("sweep", help="Fig. 10 checkpoint design space")
+    p.add_argument("--gpus", type=int, default=100_000)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("plan", help="required checkpoint cadence for a run")
+    p.add_argument("--gpus", type=int, required=True)
+    p.add_argument("--rf", type=float, default=6.5,
+                   help="failures per 1000 node-days")
+    p.add_argument("--target-ettr", type=float, default=0.9)
+    p.add_argument("--restart-min", type=float, default=5.0)
+    p.set_defaults(func=cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Failure attribution: joining job terminations to health-check events.
+
+The paper's rule (Section III): "We attribute a failure to a cause if the
+cause was detected within the last 10 minutes [of] a failing job's lifetime
+(FAILED or NODE_FAIL) or 5 minutes after."  When multiple checks fire, the
+most likely cause is chosen by severity and then by a component priority
+list (mirroring "we report the most likely cause of failure according to
+heuristics ... indicating whether a node should be isolated").
+
+The attributor consumes only *observables* — attempt rows plus the health
+event stream — never the simulator's ground truth, so it can be validated
+against that ground truth in tests.
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.jobtypes import JobAttemptRecord, JobState
+from repro.sim.events import EventRecord
+from repro.sim.timeunits import MINUTE
+from repro.workload.trace import Trace
+
+#: Tie-break order for "most likely cause" among equal-severity checks;
+#: earlier entries win.  Ordered roughly by how actionable/diagnostic the
+#: paper treats each domain.
+DEFAULT_COMPONENT_PRIORITY: Tuple[str, ...] = (
+    "ib_link",
+    "filesystem_mount",
+    "gpu_memory",
+    "pcie",
+    "gpu",
+    "nvlink",
+    "host_memory",
+    "eth_link",
+    "nic",
+    "system_services",
+    "cpu",
+    "psu",
+    "bios",
+    "eud",
+    "optics",
+)
+
+
+@dataclass(frozen=True)
+class AttributionPolicy:
+    """The attribution window and candidate job states."""
+
+    lookback: float = 10 * MINUTE
+    lookahead: float = 5 * MINUTE
+    candidate_states: Tuple[JobState, ...] = (
+        JobState.FAILED,
+        JobState.NODE_FAIL,
+        JobState.REQUEUED,
+    )
+    component_priority: Tuple[str, ...] = DEFAULT_COMPONENT_PRIORITY
+
+    def __post_init__(self):
+        if self.lookback < 0 or self.lookahead < 0:
+            raise ValueError("attribution window bounds must be non-negative")
+
+
+@dataclass(frozen=True)
+class AttributedFailure:
+    """One job termination with its diagnosed cause (or lack thereof)."""
+
+    record: JobAttemptRecord
+    cause_component: Optional[str]
+    checks: Tuple[str, ...]
+    components_seen: Tuple[str, ...]
+    attributed: bool
+
+    @property
+    def multi_attributed(self) -> bool:
+        """Multiple distinct components implicated (co-occurrence)."""
+        return len(set(self.components_seen)) > 1
+
+
+class FailureAttributor:
+    """Attributes job failures from a trace's health event stream."""
+
+    def __init__(self, trace: Trace, policy: Optional[AttributionPolicy] = None):
+        self.trace = trace
+        self.policy = policy if policy is not None else AttributionPolicy()
+        self._events_by_node: Dict[int, List[Tuple[float, EventRecord]]] = {}
+        self._times_by_node: Dict[int, List[float]] = {}
+        for event in trace.events:
+            if event.kind != "health.check_failed":
+                continue
+            node_id = event.data.get("node_id")
+            if node_id is None:
+                continue
+            self._events_by_node.setdefault(node_id, []).append((event.time, event))
+        for node_id, pairs in self._events_by_node.items():
+            pairs.sort(key=lambda p: p[0])
+            self._times_by_node[node_id] = [t for t, _e in pairs]
+
+    # ------------------------------------------------------------------
+    def _window_events(
+        self, node_id: int, end_time: float
+    ) -> List[EventRecord]:
+        """Health events on a node within the attribution window of a job end."""
+        times = self._times_by_node.get(node_id)
+        if not times:
+            return []
+        lo = end_time - self.policy.lookback
+        hi = end_time + self.policy.lookahead
+        pairs = self._events_by_node[node_id]
+        start = bisect.bisect_left(times, lo)
+        stop = bisect.bisect_right(times, hi)
+        return [pairs[i][1] for i in range(start, stop)]
+
+    def attribute_record(self, record: JobAttemptRecord) -> AttributedFailure:
+        """Diagnose one failing attempt from observable health events."""
+        events: List[EventRecord] = []
+        for node_id in record.node_ids:
+            events.extend(self._window_events(node_id, record.end_time))
+        if not events:
+            return AttributedFailure(
+                record=record,
+                cause_component=None,
+                checks=(),
+                components_seen=(),
+                attributed=False,
+            )
+        # Most likely cause: highest severity first, then the priority list.
+        def rank(event: EventRecord) -> Tuple[int, int]:
+            severity = int(event.data.get("severity", 0))
+            component = event.data.get("component", "")
+            try:
+                pri = self.policy.component_priority.index(component)
+            except ValueError:
+                pri = len(self.policy.component_priority)
+            return (-severity, pri)
+
+        best = min(events, key=rank)
+        return AttributedFailure(
+            record=record,
+            cause_component=best.data.get("component"),
+            checks=tuple(sorted({e.data.get("check", "?") for e in events})),
+            components_seen=tuple(
+                sorted({e.data.get("component", "?") for e in events})
+            ),
+            attributed=True,
+        )
+
+    def attribute_all(self) -> List[AttributedFailure]:
+        """Attribute every candidate-state attempt in the trace."""
+        out = []
+        for record in self.trace.job_records:
+            if record.state in self.policy.candidate_states:
+                out.append(self.attribute_record(record))
+        return out
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def failure_rate_by_component(
+        self, per_gpu_hours: float = 1.0
+    ) -> Dict[str, float]:
+        """Fig. 4: attributed failures per GPU-hour, by component.
+
+        The denominator is the trace's total scheduled GPU-hours; the
+        ``unattributed_node_fail`` bucket counts NODE_FAIL terminations with
+        no health event in the window (c.f. the paper's "NODE_FAIL without
+        associated health checks").
+        """
+        total_gpu_hours = self.trace.total_gpu_seconds() / 3600.0
+        if total_gpu_hours <= 0:
+            raise ValueError("trace has no scheduled GPU time")
+        counts: Dict[str, int] = {}
+        for att in self.attribute_all():
+            if att.attributed:
+                key = att.cause_component or "unknown"
+            elif att.record.state is JobState.NODE_FAIL:
+                key = "unattributed_node_fail"
+            else:
+                continue  # plain user FAILED with no health event
+            counts[key] = counts.get(key, 0) + 1
+        return {
+            comp: count / total_gpu_hours * per_gpu_hours
+            for comp, count in sorted(counts.items(), key=lambda kv: -kv[1])
+        }
+
+    def check_co_occurrence_fraction(self, check_a: str, check_b: str) -> float:
+        """Of attributed failures where ``check_a`` fired, the fraction
+        where ``check_b`` fired in the same window — Observation 5's "43%
+        of PCI errors co-occur with XID 79" style of number."""
+        with_a = 0
+        with_both = 0
+        for att in self.attribute_all():
+            if not att.attributed:
+                continue
+            checks = set(att.checks)
+            if check_a in checks:
+                with_a += 1
+                if check_b in checks:
+                    with_both += 1
+        return 0.0 if with_a == 0 else with_both / with_a
+
+    def co_occurrence_matrix(self) -> Dict[Tuple[str, str], float]:
+        """Observation 5's full pairwise view.
+
+        Entry ``(a, b)`` is the fraction of attributed failures where check
+        ``a`` fired that also saw check ``b`` (rows don't sum to 1; the
+        diagonal is 1 by construction).  Pairs with no ``a`` firings are
+        omitted.
+        """
+        firings: Dict[str, int] = {}
+        pair_counts: Dict[Tuple[str, str], int] = {}
+        for att in self.attribute_all():
+            if not att.attributed:
+                continue
+            checks = sorted(set(att.checks))
+            for a in checks:
+                firings[a] = firings.get(a, 0) + 1
+                for b in checks:
+                    pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+        return {
+            (a, b): count / firings[a]
+            for (a, b), count in sorted(pair_counts.items())
+        }
+
+    def hw_failure_records(self) -> List[JobAttemptRecord]:
+        """Records counted as infrastructure failures by the paper's rule:
+        NODE_FAIL, plus candidate-state records with an attributed check."""
+        out = []
+        for att in self.attribute_all():
+            if att.record.state is JobState.NODE_FAIL or att.attributed:
+                out.append(att.record)
+        return out

@@ -1,0 +1,131 @@
+"""Checkpoint-cadence design space (Fig. 10) and optimal-interval helpers.
+
+Fig. 10 asks: at 100k-GPU scale, what (failure rate, checkpoint interval)
+pairs achieve a given expected ETTR?  Using Eq. 2 —
+``E[ETTR] = 1 - N r_f (u0 + dt/2)`` — the required interval solves in
+closed form; the full Eq. 1 version is inverted numerically for scenarios
+where queueing matters.  We also provide the classic Young/Daly optimum
+for completeness (the paper assumes non-blocking checkpoint writes, in
+which case smaller dt is strictly better down to the write cadence the
+storage can absorb).
+"""
+
+import math
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ettr import ETTRParameters, expected_ettr, expected_ettr_simple
+from repro.sim.timeunits import DAY, MINUTE
+
+
+def required_checkpoint_interval(
+    target_ettr: float,
+    n_nodes: int,
+    failure_rate_per_node_day: float,
+    restart_overhead: float = 5 * MINUTE,
+    queue_time: float = 0.0,
+    productive_runtime: float = 7 * DAY,
+    use_full_model: bool = False,
+) -> float:
+    """Checkpoint interval (seconds) achieving ``target_ettr``.
+
+    Returns ``inf`` when any interval works (failure-free limit) and raises
+    when no positive interval can reach the target (restart overhead alone
+    already exceeds the budget) — the regime where the paper says hourly
+    checkpointing "is untenable".
+    """
+    if not 0 < target_ettr < 1:
+        raise ValueError("target_ettr must be in (0, 1)")
+    lam = n_nodes * failure_rate_per_node_day / DAY  # failures per second
+    if lam == 0:
+        return float("inf")
+    if not use_full_model:
+        # Eq. 2 inverted: dt = 2 ((1 - ettr)/(N r) - u0).
+        dt = 2 * ((1 - target_ettr) / lam - restart_overhead)
+        if dt <= 0:
+            raise ValueError(
+                f"target ETTR {target_ettr} unreachable: restart overhead "
+                f"({restart_overhead:.0f}s) alone exceeds the failure budget "
+                f"at MTTF {1 / lam:.0f}s"
+            )
+        return dt
+
+    # Full model: E[ETTR](dt) is monotone decreasing in dt; bisect.
+    def ettr_at(dt: float) -> float:
+        params = ETTRParameters(
+            n_nodes=n_nodes,
+            failure_rate_per_node_day=failure_rate_per_node_day,
+            checkpoint_interval=dt,
+            restart_overhead=restart_overhead,
+            queue_time=queue_time,
+            productive_runtime=productive_runtime,
+        )
+        try:
+            return expected_ettr(params)
+        except ValueError:
+            return 0.0  # outside validity region -> no progress
+
+    lo, hi = 1.0, 30 * DAY
+    if ettr_at(lo) < target_ettr:
+        raise ValueError(
+            f"target ETTR {target_ettr} unreachable even at 1-second "
+            "checkpointing; reduce restart overhead or failure rate"
+        )
+    if ettr_at(hi) >= target_ettr:
+        return float("inf")
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # log-space bisection
+        if ettr_at(mid) >= target_ettr:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0001:
+            break
+    return lo
+
+
+def ettr_checkpoint_grid(
+    failure_rates_per_node_day: Sequence[float],
+    checkpoint_intervals: Sequence[float],
+    n_gpus: int = 100_000,
+    restart_overhead: float = 5 * MINUTE,
+    gpus_per_node: int = 8,
+) -> Dict[Tuple[float, float], float]:
+    """Fig. 10's surface: E[ETTR] over (r_f, dt) at 100k-GPU scale.
+
+    Keys are ``(failure_rate, checkpoint_interval)``; values use Eq. 2
+    (clamped at 0 where the job cannot progress).
+    """
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    n_nodes = max(1, n_gpus // gpus_per_node)
+    grid: Dict[Tuple[float, float], float] = {}
+    for rf in failure_rates_per_node_day:
+        for dt in checkpoint_intervals:
+            params = ETTRParameters(
+                n_nodes=n_nodes,
+                failure_rate_per_node_day=rf,
+                checkpoint_interval=dt,
+                restart_overhead=restart_overhead,
+            )
+            grid[(float(rf), float(dt))] = expected_ettr_simple(params)
+    return grid
+
+
+def optimal_checkpoint_interval(
+    checkpoint_write_cost: float,
+    mttf_seconds: float,
+) -> float:
+    """Young/Daly optimum: dt* = sqrt(2 * C * MTTF).
+
+    Relevant when checkpoint writes *block* training for ``C`` seconds; the
+    paper's Fig. 10 assumes non-blocking writes, where this is the floor on
+    how aggressive a cadence is worth implementing.
+    """
+    if checkpoint_write_cost <= 0:
+        raise ValueError("checkpoint_write_cost must be positive")
+    if mttf_seconds <= 0:
+        raise ValueError("mttf_seconds must be positive")
+    return math.sqrt(2 * checkpoint_write_cost * mttf_seconds)

@@ -1,0 +1,163 @@
+"""MTTF analysis: empirical per-size MTTF, Gamma CIs, 1/N projection (Fig. 7).
+
+Three pieces, matching the paper's Section III:
+
+1. **Empirical MTTF by job size** — jobs are bucketed by GPU count rounded
+   up to the next multiple of 8 and then to powers of two; the bucket MTTF
+   is total scheduled runtime over hardware-failure count, with a 90%
+   Gamma confidence interval.
+2. **Cluster failure rate r_f** — failures per node-day over jobs larger
+   than a GPU floor (the paper uses >128 GPUs so small-job noise doesn't
+   contaminate the estimate).
+3. **Projection** — MTTF(N) = 1 / (N_nodes * r_f), the curve the paper
+   validates against buckets from 32 to 4096 GPUs and then extrapolates to
+   16k (1.8 h) and 131k (0.23 h) GPUs.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.components import GPUS_PER_NODE
+from repro.jobtypes import JobAttemptRecord, JobState
+from repro.sim.timeunits import DAY, HOUR
+from repro.stats.fitting import RateEstimate, estimate_rate
+from repro.stats.quantiles import power_of_two_bucket
+
+
+def size_bucket(n_gpus: int) -> int:
+    """Fig. 7's bucketing: round up to a multiple of 8, then a power of 2."""
+    if n_gpus <= 0:
+        raise ValueError(f"n_gpus must be positive, got {n_gpus}")
+    rounded = int(math.ceil(n_gpus / GPUS_PER_NODE)) * GPUS_PER_NODE
+    return power_of_two_bucket(rounded, minimum=GPUS_PER_NODE)
+
+
+@dataclass(frozen=True)
+class MTTFBucket:
+    """Empirical MTTF for one job-size bucket."""
+
+    gpus: int
+    n_records: int
+    failures: int
+    runtime_hours: float
+    estimate: RateEstimate  # rate per hour of job runtime
+
+    @property
+    def mttf_hours(self) -> float:
+        return self.estimate.mttf
+
+    @property
+    def mttf_hours_lo(self) -> float:
+        return self.estimate.mttf_lo
+
+    @property
+    def mttf_hours_hi(self) -> float:
+        return self.estimate.mttf_hi
+
+
+def _is_hw_failure(record: JobAttemptRecord, use_ground_truth: bool) -> bool:
+    if use_ground_truth:
+        return record.is_hw_interruption
+    # Observable rule: NODE_FAIL always counts; FAILED/REQUEUED count when
+    # a health check was attributed (see core.attribution for the join).
+    if record.state is JobState.NODE_FAIL:
+        return True
+    return (
+        record.state in (JobState.FAILED, JobState.REQUEUED)
+        and record.hw_attributed
+    )
+
+
+def empirical_mttf_by_size(
+    records: Iterable[JobAttemptRecord],
+    confidence: float = 0.90,
+    use_ground_truth: bool = True,
+    min_records: int = 1,
+) -> List[MTTFBucket]:
+    """Per-size-bucket MTTF with Gamma confidence intervals.
+
+    Exposure is the total scheduled runtime (hours) of all attempts in the
+    bucket — completed attempts are right-censored observations of the
+    failure process, exactly as in the paper's jobs-of-that-size pooling.
+    """
+    runtime: Dict[int, float] = {}
+    failures: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for record in records:
+        bucket = size_bucket(record.n_gpus)
+        runtime[bucket] = runtime.get(bucket, 0.0) + record.runtime / HOUR
+        counts[bucket] = counts.get(bucket, 0) + 1
+        if _is_hw_failure(record, use_ground_truth):
+            failures[bucket] = failures.get(bucket, 0) + 1
+    out = []
+    for bucket in sorted(runtime):
+        if counts[bucket] < min_records or runtime[bucket] <= 0:
+            continue
+        est = estimate_rate(
+            failures.get(bucket, 0), runtime[bucket], confidence=confidence
+        )
+        out.append(
+            MTTFBucket(
+                gpus=bucket,
+                n_records=counts[bucket],
+                failures=failures.get(bucket, 0),
+                runtime_hours=runtime[bucket],
+                estimate=est,
+            )
+        )
+    return out
+
+
+def node_failure_rate(
+    records: Iterable[JobAttemptRecord],
+    min_gpus: int = 128,
+    use_ground_truth: bool = True,
+    confidence: float = 0.90,
+) -> RateEstimate:
+    """Cluster failure rate r_f in failures per *node-day* of job runtime.
+
+    Counts hardware failures among attempts with more than ``min_gpus``
+    GPUs and divides by their node-days (runtime x allocated nodes) —
+    Section III's recipe for the r_f that feeds both the Fig. 7 projection
+    and E[ETTR].
+    """
+    node_days = 0.0
+    failures = 0
+    for record in records:
+        if record.n_gpus <= min_gpus:
+            continue
+        node_days += record.runtime / DAY * record.n_nodes
+        if _is_hw_failure(record, use_ground_truth):
+            failures += 1
+    if node_days <= 0:
+        raise ValueError(
+            f"no runtime from jobs larger than {min_gpus} GPUs; "
+            "lower min_gpus or use a longer trace"
+        )
+    return estimate_rate(failures, node_days, confidence=confidence)
+
+
+def project_mttf(
+    n_gpus: int,
+    failure_rate_per_node_day: float,
+    gpus_per_node: int = GPUS_PER_NODE,
+) -> float:
+    """Theoretical MTTF in **hours** for an ``n_gpus`` job: 1/(N * r_f)."""
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    if failure_rate_per_node_day <= 0:
+        return float("inf")
+    n_nodes = max(1, math.ceil(n_gpus / gpus_per_node))
+    return (1.0 / (n_nodes * failure_rate_per_node_day)) * (DAY / HOUR)
+
+
+def mttf_projection_curve(
+    sizes: Sequence[int],
+    failure_rate_per_node_day: float,
+) -> Dict[int, float]:
+    """MTTF-hours for each GPU count — the dashed theory line of Fig. 7."""
+    return {
+        int(size): project_mttf(int(size), failure_rate_per_node_day)
+        for size in sizes
+    }

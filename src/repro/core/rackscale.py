@@ -1,0 +1,150 @@
+"""Rack-scale repair units and spare capacity (Section V's GB200 outlook).
+
+"Future GPU systems, such as the NVIDIA GB200, will change the unit of
+repair from a server to a rack, creating incentives to avoiding downtime
+by coping with failure."  This module quantifies that shift:
+
+* **Capacity cost of repair** — when one tray's failure benches a whole
+  rack, the expected fraction of the fleet sitting in repair scales with
+  the repair-unit size.  At RSC-like failure rates and multi-day repairs
+  this alone makes rack-unit repair untenable without new strategies.
+* **Hot spares** — the "coping" alternative: keep ``s`` spare trays per
+  rack and remap failed trays instead of draining.  A job is interrupted
+  only when a failure lands in a rack whose spares are already exhausted,
+  which thins the interruption process by the probability that the rack
+  already has more than ``s`` trays pending repair.
+
+All rates are failures per node-day (a "node" is an 8-GPU tray-equivalent
+throughout the repo); repair times in days.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import stats as sps
+
+from repro.core.ettr import ETTRParameters, expected_ettr_simple
+
+
+@dataclass(frozen=True)
+class RepairUnitSpec:
+    """How much capacity one failure takes to the repair bench."""
+
+    name: str
+    nodes_per_unit: int
+    repair_days: float
+
+    def __post_init__(self):
+        if self.nodes_per_unit <= 0:
+            raise ValueError("nodes_per_unit must be positive")
+        if self.repair_days <= 0:
+            raise ValueError("repair_days must be positive")
+
+
+#: The classic DGX-era unit: the failed server goes away, nothing else.
+SERVER_UNIT = RepairUnitSpec(name="server", nodes_per_unit=1, repair_days=2.0)
+
+#: GB200-NVL72-era: 72 GPUs = 9 tray-equivalents per rack; pulling the
+#: rack for service benches all of them, and rack service is slower.
+RACK_UNIT = RepairUnitSpec(name="rack", nodes_per_unit=9, repair_days=3.0)
+
+
+def capacity_in_repair_fraction(
+    failure_rate_per_node_day: float,
+    unit: RepairUnitSpec,
+) -> float:
+    """Steady-state fraction of fleet capacity benched for repair.
+
+    Each node fails at rate r_f; every failure removes ``nodes_per_unit``
+    node-equivalents for ``repair_days``.  By Little's law the benched
+    fraction is ``r_f * nodes_per_unit * repair_days`` (valid while << 1).
+    """
+    if failure_rate_per_node_day < 0:
+        raise ValueError("failure rate must be non-negative")
+    fraction = (
+        failure_rate_per_node_day * unit.nodes_per_unit * unit.repair_days
+    )
+    return min(1.0, fraction)
+
+
+def spare_exhaustion_probability(
+    failure_rate_per_node_day: float,
+    nodes_per_rack: int,
+    spares_per_rack: int,
+    repair_days: float,
+) -> float:
+    """P(a failing rack has no spare left) under Poisson repair backlog.
+
+    Pending failed trays in one rack follow a Poisson with mean
+    ``rack_rate * repair_days``; a *new* failure interrupts the resident
+    job only if ``spares_per_rack`` trays are already down.
+    """
+    if nodes_per_rack <= 0:
+        raise ValueError("nodes_per_rack must be positive")
+    if spares_per_rack < 0:
+        raise ValueError("spares_per_rack must be non-negative")
+    if repair_days <= 0:
+        raise ValueError("repair_days must be positive")
+    backlog_mean = failure_rate_per_node_day * nodes_per_rack * repair_days
+    # P(Poisson(mean) >= spares)
+    if spares_per_rack == 0:
+        return 1.0
+    return float(1.0 - sps.poisson.cdf(spares_per_rack - 1, backlog_mean))
+
+
+def effective_interruption_rate(
+    failure_rate_per_node_day: float,
+    nodes_per_rack: int,
+    spares_per_rack: int,
+    repair_days: float,
+) -> float:
+    """Job-visible failure rate per node-day once spares absorb the rest."""
+    p_exhausted = spare_exhaustion_probability(
+        failure_rate_per_node_day, nodes_per_rack, spares_per_rack, repair_days
+    )
+    return failure_rate_per_node_day * p_exhausted
+
+
+def rack_scale_mttf_hours(
+    n_gpus: int,
+    failure_rate_per_node_day: float,
+    spares_per_rack: int = 0,
+    nodes_per_rack: int = 9,
+    repair_days: float = 3.0,
+    gpus_per_node: int = 8,
+) -> float:
+    """Job MTTF (hours) on rack-unit hardware with hot spares.
+
+    With zero spares this equals the paper's 1/(N r_f); each spare thins
+    interruptions by the backlog-exhaustion probability.
+    """
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    rate = effective_interruption_rate(
+        failure_rate_per_node_day, nodes_per_rack, spares_per_rack, repair_days
+    )
+    if rate == 0:
+        return float("inf")
+    n_nodes = max(1, math.ceil(n_gpus / gpus_per_node))
+    return (1.0 / (n_nodes * rate)) * 24.0
+
+
+def ettr_with_spares(
+    params: ETTRParameters,
+    spares_per_rack: int,
+    nodes_per_rack: int = 9,
+    repair_days: float = 3.0,
+) -> float:
+    """Eq. 2's E[ETTR] with the spare-thinned interruption rate."""
+    from dataclasses import replace
+
+    rate = effective_interruption_rate(
+        params.failure_rate_per_node_day,
+        nodes_per_rack,
+        spares_per_rack,
+        repair_days,
+    )
+    return expected_ettr_simple(
+        replace(params, failure_rate_per_node_day=rate)
+    )

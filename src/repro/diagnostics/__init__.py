@@ -1,0 +1,68 @@
+"""NCCL-timeout diagnosis tooling (Section V).
+
+The paper's debugging-tools proposal, implemented: "by logging which
+ranks started each collective, and the dependencies between collectives,
+we can find the first collective where some ranks started the collective
+but others did not, and further investigate the missing ranks.  If all
+ranks entered but did not leave a collective, we can examine the network
+traffic within the collective."
+
+This package provides:
+
+* a collective-execution model with per-rank programs and NCCL's
+  match-by-issue-order semantics (:mod:`repro.diagnostics.execution`),
+* fault injection covering the paper's hypothesis space — crashed ranks,
+  ranks stuck outside the collective (e.g. in data loading), in-collective
+  network hangs, and SPMD program bugs that issue collectives in
+  mismatched order (:mod:`repro.diagnostics.scenarios`),
+* the flight-recorder log format and the timeout diagnoser that works
+  backward from logs to culprit ranks (:mod:`repro.diagnostics.diagnosis`),
+* a static SPMD checker that raises on mismatched collective orders
+  instead of letting the job deadlock (Section V's "Programming Models").
+"""
+
+from repro.diagnostics.collective_ops import (
+    CollectiveKind,
+    CollectiveOp,
+    RankProgram,
+    training_loop_program,
+)
+from repro.diagnostics.execution import (
+    OpLog,
+    RankFlightRecord,
+    simulate_collectives,
+)
+from repro.diagnostics.scenarios import (
+    FaultScenario,
+    RankFault,
+    RankFaultKind,
+    mismatched_program_set,
+    random_scenario,
+)
+from repro.diagnostics.diagnosis import (
+    MismatchedCollectiveError,
+    TimeoutDiagnosis,
+    TimeoutVerdict,
+    diagnose_timeout,
+    static_spmd_check,
+)
+
+__all__ = [
+    "CollectiveKind",
+    "CollectiveOp",
+    "RankProgram",
+    "training_loop_program",
+    "OpLog",
+    "RankFlightRecord",
+    "simulate_collectives",
+    "FaultScenario",
+    "RankFault",
+    "RankFaultKind",
+    "mismatched_program_set",
+    "random_scenario",
+    "MismatchedCollectiveError",
+    "TimeoutDiagnosis",
+    "TimeoutVerdict",
+    "diagnose_timeout",
+    "static_spmd_check",
+]

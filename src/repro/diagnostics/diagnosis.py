@@ -1,0 +1,190 @@
+"""Timeout diagnosis: from flight records back to culprit ranks.
+
+Implements Section V's recipe verbatim:
+
+1. "Find the first collective where some ranks started the collective but
+   others did not, and further investigate the missing ranks."
+2. "If all ranks entered but did not leave a collective, examine the
+   network traffic within the collective" — here: flag an in-collective
+   hang and hand the remaining hypotheses to the Table I taxonomy.
+3. Mismatched kinds at one seq = an SPMD program bug; the static checker
+   raises it *before* the job runs, "raising exceptions rather than
+   deadlocking".
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import FailureDomain, FailureSymptom, diagnose
+from repro.diagnostics.collective_ops import RankProgram
+from repro.diagnostics.execution import OpLog, RankFlightRecord
+
+
+class TimeoutVerdict(enum.Enum):
+    NO_FAULT = "no_fault"
+    MISSING_RANKS = "missing_ranks"
+    MISMATCHED_COLLECTIVES = "mismatched_collectives"
+    IN_COLLECTIVE_HANG = "in_collective_hang"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MismatchedCollectiveError(RuntimeError):
+    """Raised by the static checker on divergent SPMD programs."""
+
+    def __init__(self, seq: int, kinds_by_rank: Dict[int, str]):
+        self.seq = seq
+        self.kinds_by_rank = dict(kinds_by_rank)
+        super().__init__(
+            f"collective #{seq} diverges across ranks: {self.kinds_by_rank}"
+        )
+
+
+@dataclass(frozen=True)
+class TimeoutDiagnosis:
+    """The diagnoser's answer for one hung job."""
+
+    verdict: TimeoutVerdict
+    collective_seq: Optional[int]
+    culprit_ranks: Tuple[int, ...]
+    kinds_seen: Tuple[str, ...]
+    suspect_domains: Tuple[FailureDomain, ...]
+    detail: str
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        if self.collective_seq is not None:
+            lines.append(f"first incomplete collective: #{self.collective_seq}")
+        if self.culprit_ranks:
+            lines.append(f"culprit ranks: {list(self.culprit_ranks)}")
+        if self.kinds_seen:
+            lines.append(f"kinds seen: {sorted(set(self.kinds_seen))}")
+        lines.append(
+            "suspect domains: "
+            + ", ".join(d.value for d in self.suspect_domains)
+        )
+        lines.append(self.detail)
+        return "\n".join(lines)
+
+
+def diagnose_timeout(records: Sequence[RankFlightRecord]) -> TimeoutDiagnosis:
+    """Work backward from flight records to the most likely story."""
+    if not records:
+        raise ValueError("need at least one flight record")
+    by_rank = {r.rank: r for r in records}
+    n_ops = max((len(r.entries) for r in records), default=0)
+
+    for seq in range(n_ops):
+        entries: Dict[int, Optional[OpLog]] = {
+            rank: record.entry(seq) for rank, record in by_rank.items()
+        }
+        relevant = {r: e for r, e in entries.items() if e is not None}
+        if not relevant:
+            continue
+        if all(e.completed for e in relevant.values()):
+            continue
+        # This is the first collective that did not complete everywhere.
+        started = {r for r, e in relevant.items() if e.started}
+        missing = tuple(sorted(set(relevant) - started))
+        kinds = tuple(
+            sorted({e.signature for r, e in relevant.items() if r in started})
+        )
+        if missing:
+            detail = (
+                f"ranks {list(missing)} never issued collective #{seq}; "
+                "inspect their host state (crash vs stuck outside the "
+                "collective, e.g. data loading)"
+            )
+            domains = tuple(
+                diagnose(
+                    FailureSymptom.NCCL_TIMEOUT,
+                    ruled_out=[FailureDomain.HARDWARE_INFRA],
+                )
+            )
+            return TimeoutDiagnosis(
+                verdict=TimeoutVerdict.MISSING_RANKS,
+                collective_seq=seq,
+                culprit_ranks=missing,
+                kinds_seen=kinds,
+                suspect_domains=domains,
+                detail=detail,
+            )
+        if len(kinds) > 1:
+            # Everyone arrived, but they disagree on what the collective is
+            # (kind or message size — NCCL matches both).
+            majority = max(
+                kinds,
+                key=lambda k: sum(
+                    1 for e in relevant.values() if e.signature == k
+                ),
+            )
+            culprits = tuple(
+                sorted(
+                    r for r, e in relevant.items() if e.signature != majority
+                )
+            )
+            return TimeoutDiagnosis(
+                verdict=TimeoutVerdict.MISMATCHED_COLLECTIVES,
+                collective_seq=seq,
+                culprit_ranks=culprits,
+                kinds_seen=kinds,
+                suspect_domains=(FailureDomain.USER_PROGRAM,),
+                detail=(
+                    f"ranks disagree on collective #{seq} "
+                    f"({dict((r, e.signature) for r, e in relevant.items())}); "
+                    "SPMD ordering bug"
+                ),
+            )
+        # All ranks entered the same collective and none left.
+        domains = tuple(
+            diagnose(
+                FailureSymptom.NCCL_TIMEOUT,
+                ruled_out=[FailureDomain.USER_PROGRAM],
+            )
+        )
+        return TimeoutDiagnosis(
+            verdict=TimeoutVerdict.IN_COLLECTIVE_HANG,
+            collective_seq=seq,
+            culprit_ranks=(),
+            kinds_seen=kinds,
+            suspect_domains=domains,
+            detail=(
+                f"all ranks entered collective #{seq} but none completed; "
+                "examine network traffic / link health within the "
+                "collective"
+            ),
+        )
+    return TimeoutDiagnosis(
+        verdict=TimeoutVerdict.NO_FAULT,
+        collective_seq=None,
+        culprit_ranks=(),
+        kinds_seen=(),
+        suspect_domains=(),
+        detail="every collective completed on every rank",
+    )
+
+
+def static_spmd_check(programs: Sequence[RankProgram]) -> None:
+    """Raise :class:`MismatchedCollectiveError` on divergent programs.
+
+    Section V: "Dynamically detecting incorrect programs and raising
+    exceptions rather than deadlocking would improve stability."  Run
+    this before launching; it catches any order/kind divergence that the
+    execution semantics would turn into a silent hang.
+    """
+    if not programs:
+        raise ValueError("need at least one rank program")
+    n_ops = max(len(p) for p in programs)
+    if any(len(p) != n_ops for p in programs):
+        lengths = {p.rank: len(p) for p in programs}
+        raise MismatchedCollectiveError(
+            seq=min(lengths.values()),
+            kinds_by_rank={r: f"<{n} ops>" for r, n in lengths.items()},
+        )
+    for seq in range(n_ops):
+        kinds = {p.rank: p.ops[seq].kind.value for p in programs}
+        reference = programs[0].ops[seq]
+        if any(not p.ops[seq].matches(reference) for p in programs[1:]):
+            raise MismatchedCollectiveError(seq=seq, kinds_by_rank=kinds)

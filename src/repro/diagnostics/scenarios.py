@@ -1,0 +1,152 @@
+"""Fault injection for collective runs: the timeout hypothesis space.
+
+Section II-E / V enumerate what a NCCL timeout can hide: a crashed rank, a
+rank stuck outside the collective (data loading, deadlocked host code), an
+in-collective network/hardware hang, or an SPMD bug where ranks issue
+collectives in different orders.  Each gets an injectable fault here, plus
+a generator of labelled random scenarios for accuracy evaluation.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diagnostics.collective_ops import (
+    CollectiveKind,
+    CollectiveOp,
+    RankProgram,
+    spmd_program_set,
+)
+
+
+class RankFaultKind(enum.Enum):
+    """What actually went wrong (ground truth for evaluating diagnosis)."""
+
+    NONE = "none"
+    CRASH = "crash"  # rank process died before issuing an op
+    STUCK_OUTSIDE = "stuck_outside"  # e.g. blocked on the dataloader
+    NETWORK_HANG = "network_hang"  # entered the collective, traffic stalls
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RankFault:
+    """A fault pinned to one rank at one op index."""
+
+    rank: int
+    kind: RankFaultKind
+    at_op: int
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.rank < 0 or self.at_op < 0:
+            raise ValueError("rank and at_op must be non-negative")
+        if self.kind is RankFaultKind.NONE:
+            raise ValueError("use an empty fault list for the no-fault case")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Programs + injected faults + the ground-truth answer."""
+
+    name: str
+    programs: Tuple[RankProgram, ...]
+    faults: Tuple[RankFault, ...]
+    #: ground truth: the verdict a perfect diagnoser should return
+    truth_verdict: str
+    truth_culprits: Tuple[int, ...]
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.programs)
+
+
+def mismatched_program_set(
+    n_ranks: int,
+    buggy_rank: int,
+    swap_at: int = 1,
+    n_steps: int = 2,
+) -> List[RankProgram]:
+    """An SPMD bug: one rank issues two collectives in swapped order.
+
+    This is Section V's canonical deadlock — e.g. a conditional that
+    reorders a gradient all-reduce against a barrier on one rank only.
+    """
+    programs = spmd_program_set(n_ranks, n_steps=n_steps)
+    if not 0 <= buggy_rank < n_ranks:
+        raise ValueError("buggy_rank out of range")
+    ops = list(programs[buggy_rank].ops)
+    if not 0 <= swap_at < len(ops) - 1:
+        raise ValueError("swap_at out of range")
+    while swap_at < len(ops) - 1 and ops[swap_at].matches(ops[swap_at + 1]):
+        # Swapping identical ops would be an invisible no-op "bug";
+        # advance to the next visibly-divergent pair.
+        swap_at += 1
+    if swap_at >= len(ops) - 1:
+        raise ValueError("program has no adjacent distinguishable ops to swap")
+    ops[swap_at], ops[swap_at + 1] = ops[swap_at + 1], ops[swap_at]
+    programs[buggy_rank] = RankProgram(
+        rank=buggy_rank, ops=ops, compute_gap=programs[buggy_rank].compute_gap
+    )
+    return programs
+
+
+def random_scenario(
+    rng: np.random.Generator,
+    n_ranks: int = 8,
+    n_steps: int = 2,
+) -> FaultScenario:
+    """Sample a labelled scenario uniformly over the four fault families."""
+    family = rng.choice(
+        ["none", "crash", "stuck_outside", "network_hang", "mismatch"]
+    )
+    programs = spmd_program_set(n_ranks, n_steps=n_steps)
+    n_ops = len(programs[0])
+    if family == "none":
+        return FaultScenario(
+            name="healthy",
+            programs=tuple(programs),
+            faults=(),
+            truth_verdict="no_fault",
+            truth_culprits=(),
+        )
+    culprit = int(rng.integers(0, n_ranks))
+    at_op = int(rng.integers(1, n_ops))
+    if family == "mismatch":
+        swap_at = int(rng.integers(0, n_ops - 2))
+        programs = mismatched_program_set(
+            n_ranks, buggy_rank=culprit, swap_at=swap_at, n_steps=n_steps
+        )
+        return FaultScenario(
+            name=f"mismatch@rank{culprit}",
+            programs=tuple(programs),
+            faults=(),
+            truth_verdict="mismatched_collectives",
+            truth_culprits=(culprit,),
+        )
+    kind = {
+        "crash": RankFaultKind.CRASH,
+        "stuck_outside": RankFaultKind.STUCK_OUTSIDE,
+        "network_hang": RankFaultKind.NETWORK_HANG,
+    }[family]
+    verdict = (
+        "in_collective_hang"
+        if kind is RankFaultKind.NETWORK_HANG
+        else "missing_ranks"
+    )
+    detail = {
+        RankFaultKind.CRASH: "segfault in optimizer step",
+        RankFaultKind.STUCK_OUTSIDE: "blocked reading the next batch",
+        RankFaultKind.NETWORK_HANG: "switch egress port stalled",
+    }[kind]
+    return FaultScenario(
+        name=f"{family}@rank{culprit}/op{at_op}",
+        programs=tuple(programs),
+        faults=(RankFault(rank=culprit, kind=kind, at_op=at_op, detail=detail),),
+        truth_verdict=verdict,
+        truth_culprits=(culprit,),
+    )

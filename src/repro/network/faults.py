@@ -1,0 +1,59 @@
+"""Fabric fault injection: the ``mlxreg``-style BER experiment knobs."""
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.links import Link
+from repro.network.topology import FabricTopology
+
+
+def inject_bit_errors(
+    fabric: FabricTopology,
+    fraction_of_links: float,
+    bit_error_rate: float,
+    rng: np.random.Generator,
+    tier: str = "leaf_spine",
+) -> List[Link]:
+    """Degrade a random fraction of links with the given BER.
+
+    ``tier`` selects which links are eligible: ``"leaf_spine"`` (the
+    contended tier the paper's experiment targeted) or ``"all"``.
+    Returns the degraded links.
+    """
+    if not 0 <= fraction_of_links <= 1:
+        raise ValueError("fraction_of_links must be in [0, 1]")
+    if tier == "leaf_spine":
+        candidates = fabric.leaf_spine_links()
+    elif tier == "all":
+        candidates = fabric.all_links()
+    else:
+        raise ValueError(f"unknown tier {tier!r}")
+    n = int(round(fraction_of_links * len(candidates)))
+    if n == 0:
+        return []
+    chosen = rng.choice(len(candidates), size=n, replace=False)
+    degraded = []
+    for idx in chosen:
+        link = candidates[int(idx)]
+        link.set_bit_error_rate(bit_error_rate)
+        degraded.append(link)
+    return degraded
+
+
+def flap_links(
+    fabric: FabricTopology,
+    fraction_of_links: float,
+    rng: np.random.Generator,
+    tier: str = "leaf_spine",
+) -> List[Link]:
+    """Take a random fraction of links fully down (flap's down phase)."""
+    degraded = inject_bit_errors(fabric, fraction_of_links, 0.0, rng, tier=tier)
+    for link in degraded:
+        link.bring_down()
+    return degraded
+
+
+def restore_all(fabric: FabricTopology) -> None:
+    """Clear all injected faults."""
+    fabric.reset_faults()

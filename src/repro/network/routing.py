@@ -1,0 +1,95 @@
+"""Static vs adaptive route selection over the fabric.
+
+* **Static routing** hashes (src, dst, rail) to a spine deterministically —
+  the ECMP-like behaviour without adaptivity.  A degraded or congested
+  link keeps receiving the flows hashed onto it, which is how a single bad
+  cable can halve a training job's bandwidth.
+* **Adaptive routing** chooses, per flow, the *least-loaded healthy* spine
+  (ties broken deterministically), modelling switch-level AR that steers
+  packets away from congested or errored ports (Section IV-B).
+
+Policies are stateful only through a per-computation load map supplied by
+the collective estimator, keeping them reusable across experiments.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.links import Link
+from repro.network.topology import FabricTopology
+
+
+def _stable_hash(*parts: int) -> int:
+    """Deterministic (process-independent) integer hash."""
+    h = 0xCBF29CE484222325
+    for part in parts:
+        for byte in int(part).to_bytes(8, "little", signed=False):
+            h ^= byte
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class RoutingPolicy:
+    """Interface: choose the links a flow traverses."""
+
+    name = "abstract"
+
+    def route(
+        self,
+        fabric: FabricTopology,
+        src_server: int,
+        dst_server: int,
+        rail: int,
+        link_load: Dict[Tuple[str, str], int],
+    ) -> List[Link]:
+        raise NotImplementedError
+
+
+class StaticRouting(RoutingPolicy):
+    """Hash-based spine selection; oblivious to load and link health."""
+
+    name = "static"
+
+    def route(self, fabric, src_server, dst_server, rail, link_load):
+        if fabric.pod_of(src_server) == fabric.pod_of(dst_server):
+            return fabric.path(src_server, dst_server, rail)
+        spines = fabric.spine_candidates(rail)
+        choice = spines[_stable_hash(src_server, dst_server, rail) % len(spines)]
+        return fabric.path(src_server, dst_server, rail, spine=choice)
+
+
+class AdaptiveRouting(RoutingPolicy):
+    """Least-loaded healthy-spine selection, per flow.
+
+    Scores each candidate spine by (unhealthy-link penalty, current load on
+    the two leaf<->spine links, effective-capacity deficit) and picks the
+    minimum — a flow-level abstraction of per-packet AR that is sufficient
+    to reproduce the bandwidth-retention and variance effects of Fig. 12.
+    """
+
+    name = "adaptive"
+
+    def route(self, fabric, src_server, dst_server, rail, link_load):
+        if fabric.pod_of(src_server) == fabric.pod_of(dst_server):
+            return fabric.path(src_server, dst_server, rail)
+        best_path: Optional[List[Link]] = None
+        best_score: Optional[Tuple] = None
+        for spine in fabric.spine_candidates(rail):
+            path = fabric.path(src_server, dst_server, rail, spine=spine)
+            up = fabric.link(
+                fabric.leaf_name(fabric.pod_of(src_server), rail), spine
+            )
+            down = fabric.link(
+                spine, fabric.leaf_name(fabric.pod_of(dst_server), rail)
+            )
+            unhealthy = sum(1 for l in (up, down) if not l.healthy)
+            load = link_load.get(up.key, 0) + link_load.get(down.key, 0)
+            capacity_deficit = 2 * up.capacity_gbps - (
+                up.effective_capacity_gbps + down.effective_capacity_gbps
+            )
+            score = (unhealthy, load, capacity_deficit, spine)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_path = path
+        assert best_path is not None
+        return best_path

@@ -1,0 +1,83 @@
+"""SHIELD-style self-healing routing (Section IV-B's middle ground).
+
+InfiniBand's SHIELD lets switches coordinate around *failed* links.  The
+paper's experience: "even with such a feature enabled, the threshold for
+counting a link as down may be too conservative, resulting in
+re-transmissions at the protocol level along with possible network
+degradation.  In particular, in the bring-up phase of RSC-1, we observed
+as much as 50-75% bandwidth loss."
+
+We model that behaviour: SHIELD routes statically (hash-based) but fails
+over to the next healthy spine when its chosen link is *hard down* — it
+cannot see links that are merely eating bandwidth to retransmissions
+unless their error rate crosses its (conservative) threshold.  Adaptive
+routing, by contrast, reacts to load and degradation continuously.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.network.links import Link, LinkState
+from repro.network.routing import StaticRouting, _stable_hash
+from repro.network.topology import FabricTopology
+
+#: BER above which SHIELD's link-fault logic finally counts a link as
+#: down.  Deliberately conservative (the paper's complaint): links can
+#: lose most of their goodput to retransmissions well below this.
+DEFAULT_SHIELD_BER_THRESHOLD = 2e-4
+
+
+@dataclass
+class ShieldRouting(StaticRouting):
+    """Static hashing with fail-over around hard-down links only."""
+
+    ber_threshold: float = DEFAULT_SHIELD_BER_THRESHOLD
+
+    name = "shield"
+
+    def _link_counts_as_down(self, link: Link) -> bool:
+        return (
+            link.state is LinkState.DOWN
+            or link.bit_error_rate >= self.ber_threshold
+        )
+
+    def route(self, fabric, src_server, dst_server, rail, link_load):
+        if fabric.pod_of(src_server) == fabric.pod_of(dst_server):
+            return fabric.path(src_server, dst_server, rail)
+        spines = fabric.spine_candidates(rail)
+        start = _stable_hash(src_server, dst_server, rail) % len(spines)
+        src_leaf = fabric.leaf_name(fabric.pod_of(src_server), rail)
+        dst_leaf = fabric.leaf_name(fabric.pod_of(dst_server), rail)
+        # Walk the ECMP ring from the hashed choice; take the first spine
+        # whose two legs SHIELD does not consider down.
+        for offset in range(len(spines)):
+            spine = spines[(start + offset) % len(spines)]
+            up = fabric.link(src_leaf, spine)
+            down = fabric.link(spine, dst_leaf)
+            if not (
+                self._link_counts_as_down(up)
+                or self._link_counts_as_down(down)
+            ):
+                return fabric.path(src_server, dst_server, rail, spine=spine)
+        # Every spine looks down: fall back to the hashed choice and let
+        # the flow starve (matches a partitioned fabric).
+        return fabric.path(
+            src_server, dst_server, rail, spine=spines[start]
+        )
+
+
+def apply_shield_link_faulting(
+    fabric: FabricTopology,
+    ber_threshold: float = DEFAULT_SHIELD_BER_THRESHOLD,
+) -> List[Link]:
+    """Hard-down every link whose BER crosses SHIELD's threshold.
+
+    Returns the links taken down.  This is the switch-firmware action;
+    :class:`ShieldRouting` then routes around the downed links.
+    """
+    downed = []
+    for link in fabric.all_links():
+        if link.state is LinkState.UP and link.bit_error_rate >= ber_threshold:
+            link.bring_down()
+            downed.append(link)
+    return downed

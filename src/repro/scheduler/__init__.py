@@ -1,0 +1,36 @@
+"""Slurm-semantics gang scheduler.
+
+Implements the scheduling behaviour the paper's analyses depend on: gang
+allocation over whole servers (with GPU-slot sharing for sub-server jobs),
+multifactor priority, preemption with the two-hour shield, the seven-day
+lifetime cap, automatic requeue with the same job id after health-check
+terminations, and topology-aware placement that packs pods.
+"""
+
+from repro.scheduler.job import Job, JobAttemptRecord, JobState
+from repro.scheduler.priority import PriorityPolicy
+from repro.scheduler.placement import FreeNodeIndex, PlacementPolicy
+from repro.scheduler.preemption import PreemptionPolicy, PREEMPTION_SHIELD
+from repro.scheduler.preflight import PreflightPolicy
+from repro.scheduler.quota import QuotaManager
+from repro.scheduler.reliability_aware import (
+    ReliabilityAwarePlacement,
+    default_node_risk,
+)
+from repro.scheduler.engine import SlurmLikeScheduler
+
+__all__ = [
+    "Job",
+    "JobAttemptRecord",
+    "JobState",
+    "PriorityPolicy",
+    "FreeNodeIndex",
+    "PlacementPolicy",
+    "PreemptionPolicy",
+    "PREEMPTION_SHIELD",
+    "PreflightPolicy",
+    "QuotaManager",
+    "ReliabilityAwarePlacement",
+    "default_node_risk",
+    "SlurmLikeScheduler",
+]

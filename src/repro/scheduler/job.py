@@ -1,0 +1,117 @@
+"""Job runtime state and the per-attempt trace record.
+
+A logical job keeps its id across requeues (the paper's infrastructure
+guarantee); every scheduling *attempt* produces one
+:class:`JobAttemptRecord`, which is the row format the analysis layer
+consumes — the equivalent of one Slurm accounting entry.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.sim.engine import ScheduledEvent
+from repro.jobtypes import (
+    FINAL_OUTCOME_BY_INTENT,
+    INTERRUPTION_STATES,
+    IntendedOutcome,
+    JobAttemptRecord,
+    JobState,
+    QosTier,
+)
+from repro.workload.spec import JobSpec
+
+
+class Job:
+    """Mutable scheduler-side state of one logical job."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.attempt = 0
+        self.remaining_work = spec.effective_work
+        self.enqueue_time = spec.submit_time
+        self.start_time: Optional[float] = None
+        self.node_ids: List[int] = []
+        self.end_event: Optional[ScheduledEvent] = None
+        self.records: List[JobAttemptRecord] = []
+        self.requeues_used = 0
+        self.hw_interruptions = 0
+        self.excluded_nodes: Set[int] = set(spec.exclude_nodes)
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def qos(self) -> QosTier:
+        return self.spec.qos
+
+    @property
+    def n_gpus(self) -> int:
+        return self.spec.n_gpus
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    def running_elapsed(self, now: float) -> float:
+        if self.state is not JobState.RUNNING or self.start_time is None:
+            raise RuntimeError(f"job {self.job_id} is not running")
+        return now - self.start_time
+
+    def can_requeue(self) -> bool:
+        return (
+            self.requeues_used < self.spec.max_requeues
+            and self.remaining_work > 0
+        )
+
+    def close_attempt(
+        self,
+        end_time: float,
+        state: JobState,
+        hw_component: Optional[str] = None,
+        hw_incident_id: Optional[int] = None,
+        hw_attributed: bool = False,
+        failing_node_id: Optional[int] = None,
+        instigator_job_id: Optional[int] = None,
+    ) -> JobAttemptRecord:
+        """Record the end of the current attempt and return its row."""
+        if self.start_time is None:
+            raise RuntimeError(f"job {self.job_id} has no running attempt to close")
+        record = JobAttemptRecord(
+            job_id=self.job_id,
+            attempt=self.attempt,
+            jobrun_id=self.spec.jobrun_id,
+            project=self.spec.project,
+            qos=self.spec.qos,
+            n_gpus=self.spec.n_gpus,
+            n_nodes=self.spec.n_nodes,
+            enqueue_time=self.enqueue_time,
+            start_time=self.start_time,
+            end_time=end_time,
+            state=state,
+            node_ids=tuple(self.node_ids),
+            hw_component=hw_component,
+            hw_incident_id=hw_incident_id,
+            hw_attributed=hw_attributed,
+            failing_node_id=failing_node_id,
+            instigator_job_id=instigator_job_id,
+        )
+        self.records.append(record)
+        self.state = state
+        self.start_time = None
+        self.node_ids = []
+        self.end_event = None
+        return record
+
+    def reenqueue(self, now: float) -> None:
+        """Return the job to the pending queue for a fresh attempt."""
+        self.attempt += 1
+        self.state = JobState.PENDING
+        self.enqueue_time = now
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id}, gpus={self.n_gpus}, qos={self.qos.name}, "
+            f"state={self.state.value}, attempt={self.attempt})"
+        )

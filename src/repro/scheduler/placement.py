@@ -1,0 +1,136 @@
+"""Topology-aware gang placement over GPU slots.
+
+Two regimes, as in the real cluster:
+
+* **Sub-server jobs** (1-7 GPUs) pack onto partially used nodes, best-fit,
+  so whole servers stay free for gangs.
+* **Server-and-larger jobs** take whole nodes.  Placement is rail/pod
+  aware: it fills from the pods with the most free servers, minimizing the
+  number of pods a gang spans (the paper's Slurm "attempts to co-locate
+  tasks given the physical network topology").
+
+The :class:`FreeNodeIndex` keeps allocation queries O(1)-ish.  It tolerates
+stale entries (a node that drained or failed since insertion) by
+re-validating against the live node object at pop time — cheaper and less
+error-prone than keeping every state transition synchronously mirrored.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cluster.components import GPUS_PER_NODE
+from repro.cluster.node import Node
+
+
+class FreeNodeIndex:
+    """Tracks free GPU capacity: per-free-count buckets + per-pod full nodes."""
+
+    def __init__(self, nodes: Dict[int, Node]):
+        self._nodes = nodes
+        # bucket[k] = node ids believed to have exactly k free GPUs (1..8)
+        self._buckets: List[Set[int]] = [set() for _ in range(GPUS_PER_NODE + 1)]
+        self._bucket_of: Dict[int, int] = {}
+        self._full_by_pod: Dict[int, Set[int]] = defaultdict(set)
+        for node in nodes.values():
+            self.refresh(node.node_id)
+
+    def refresh(self, node_id: int) -> None:
+        """Re-index a node after any capacity or state change."""
+        node = self._nodes[node_id]
+        old = self._bucket_of.pop(node_id, None)
+        if old is not None:
+            self._buckets[old].discard(node_id)
+            if old == GPUS_PER_NODE:
+                self._full_by_pod[node.pod_id].discard(node_id)
+        if not node.is_schedulable() or node.free_gpus == 0:
+            return
+        k = node.free_gpus
+        self._buckets[k].add(node_id)
+        self._bucket_of[node_id] = k
+        if k == GPUS_PER_NODE:
+            self._full_by_pod[node.pod_id].add(node_id)
+
+    def remove(self, node_id: int) -> None:
+        """Drop a node from the index (failed, draining, or quarantined)."""
+        node = self._nodes[node_id]
+        old = self._bucket_of.pop(node_id, None)
+        if old is not None:
+            self._buckets[old].discard(node_id)
+            if old == GPUS_PER_NODE:
+                self._full_by_pod[node.pod_id].discard(node_id)
+
+    def _validated(self, node_id: int, gpus: int) -> Optional[Node]:
+        node = self._nodes[node_id]
+        if node.can_host(gpus):
+            return node
+        self.refresh(node_id)  # drop/reposition the stale entry
+        return None
+
+    def find_partial(self, gpus: int, excluded: Set[int]) -> Optional[Node]:
+        """Best-fit node for a sub-server job (smallest adequate bucket)."""
+        for k in range(gpus, GPUS_PER_NODE + 1):
+            for node_id in sorted(self._buckets[k]):
+                if node_id in excluded:
+                    continue
+                node = self._validated(node_id, gpus)
+                if node is not None:
+                    return node
+        return None
+
+    def find_full_nodes(
+        self, n_nodes: int, excluded: Set[int]
+    ) -> Optional[List[Node]]:
+        """Pick ``n_nodes`` fully free servers, packing the fullest pods."""
+        pods = sorted(
+            self._full_by_pod.items(),
+            key=lambda item: (-len(item[1]), item[0]),
+        )
+        chosen: List[Node] = []
+        for _pod_id, node_ids in pods:
+            for node_id in sorted(node_ids):
+                if node_id in excluded:
+                    continue
+                node = self._validated(node_id, GPUS_PER_NODE)
+                if node is not None:
+                    chosen.append(node)
+                    if len(chosen) == n_nodes:
+                        return chosen
+        return None
+
+    def free_full_node_count(self) -> int:
+        """Upper bound on fully free servers (may include stale entries)."""
+        return sum(len(s) for s in self._full_by_pod.values())
+
+    def full_node_candidates(self, excluded: Set[int]) -> List[Node]:
+        """All validated fully-free servers (for custom selection orders)."""
+        out: List[Node] = []
+        for node_ids in self._full_by_pod.values():
+            for node_id in sorted(node_ids):
+                if node_id in excluded:
+                    continue
+                node = self._validated(node_id, GPUS_PER_NODE)
+                if node is not None:
+                    out.append(node)
+        return out
+
+
+@dataclass
+class PlacementPolicy:
+    """Stateless placement decisions over a :class:`FreeNodeIndex`."""
+
+    def place(
+        self, index: FreeNodeIndex, n_gpus: int, excluded: Set[int]
+    ) -> Optional[List[Node]]:
+        """Return the nodes for a gang, or ``None`` if it cannot fit now."""
+        if n_gpus < GPUS_PER_NODE:
+            node = index.find_partial(n_gpus, excluded)
+            return None if node is None else [node]
+        if n_gpus % GPUS_PER_NODE != 0:
+            raise ValueError(
+                f"multi-server jobs must use whole servers (got {n_gpus})"
+            )
+        return index.find_full_nodes(n_gpus // GPUS_PER_NODE, excluded)
+
+    def pods_spanned(self, nodes: Iterable[Node]) -> int:
+        return len({n.pod_id for n in nodes})

@@ -1,0 +1,97 @@
+"""Preemption policy: the two-hour shield and victim selection.
+
+"To help ensure even the lowest priority jobs are able to make progress,
+preemptions can only occur after two hours of runtime" (Section III).  A
+pending job may preempt strictly-lower-QoS jobs whose current attempt has
+run at least the shield duration.  Victim selection frees whole servers:
+we rank candidate nodes by (lowest resident QoS, fewest resident GPUs) so
+the cheapest capacity is churned first — which is also why large job
+failures cascade into *many* small preemptions (Fig. 8's second-order
+effect).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.components import GPUS_PER_NODE
+from repro.cluster.node import Node
+from repro.scheduler.job import Job, JobState
+from repro.sim.timeunits import HOUR
+
+PREEMPTION_SHIELD = 2 * HOUR
+
+
+@dataclass
+class PreemptionPlan:
+    """Outcome of victim selection: jobs to kill and nodes that free up."""
+
+    victims: List[Job]
+    freed_nodes: List[Node]
+
+
+@dataclass
+class PreemptionPolicy:
+    """Chooses preemption victims for a job that cannot otherwise place."""
+
+    shield: float = PREEMPTION_SHIELD
+
+    def job_is_preemptible(self, job: Job, by: Job, now: float) -> bool:
+        """May ``job`` be preempted in favour of ``by`` right now?"""
+        if job.state is not JobState.RUNNING or job.start_time is None:
+            return False
+        if job.qos >= by.qos:
+            return False
+        return (now - job.start_time) >= self.shield
+
+    def plan(
+        self,
+        pending: Job,
+        nodes: Dict[int, Node],
+        jobs: Dict[int, Job],
+        now: float,
+        already_free: int,
+        excluded: Set[int],
+    ) -> Optional[PreemptionPlan]:
+        """Find victims so that ``pending`` can start; None if impossible.
+
+        ``already_free`` is the count of fully free servers that placement
+        already found; we only need to liberate the remainder.  A node is
+        liberable only if *every* resident job is preemptible — gang
+        semantics mean killing one job frees all its nodes, so we work at
+        node granularity and dedupe victims.
+        """
+        if pending.n_gpus < GPUS_PER_NODE:
+            needed_nodes = 1
+        else:
+            needed_nodes = pending.n_gpus // GPUS_PER_NODE
+        to_liberate = needed_nodes - already_free
+        if to_liberate <= 0:
+            return PreemptionPlan(victims=[], freed_nodes=[])
+
+        candidates: List[Tuple[Tuple[int, int], Node]] = []
+        for node in nodes.values():
+            if node.node_id in excluded or not node.is_schedulable():
+                continue
+            if not node.running_jobs or node.fully_free:
+                continue
+            residents = [jobs[jid] for jid in node.running_jobs]
+            if not all(
+                self.job_is_preemptible(job, pending, now) for job in residents
+            ):
+                continue
+            min_qos = min(int(job.qos) for job in residents)
+            held = node.total_gpus - node.free_gpus
+            candidates.append(((min_qos, held), node))
+        if len(candidates) < to_liberate:
+            return None
+
+        candidates.sort(key=lambda item: (item[0], item[1].node_id))
+        chosen_nodes = [node for _key, node in candidates[:to_liberate]]
+        victim_ids: Set[int] = set()
+        victims: List[Job] = []
+        for node in chosen_nodes:
+            for jid in node.running_jobs:
+                if jid not in victim_ids:
+                    victim_ids.add(jid)
+                    victims.append(jobs[jid])
+        return PreemptionPlan(victims=victims, freed_nodes=chosen_nodes)

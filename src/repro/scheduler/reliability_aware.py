@@ -1,0 +1,78 @@
+"""Reliability-aware placement (Section V's research direction).
+
+"We see significant opportunities in further exposing reliability
+information to the scheduler ... such that work is partitioned to maximize
+reliability or goodput."  This policy does exactly that: gang placements
+prefer nodes with clean recent records, pushing historically flaky nodes
+to the back of the candidate list (where small, cheap-to-restart jobs land
+instead).  It is a *softer* intervention than lemon quarantine — no
+capacity is removed — and composes with it.
+
+Risk is any callable over a node; the default reads the node's lemon
+counters, weighting actual job-killing events over repair-shop visits.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.cluster.components import GPUS_PER_NODE
+from repro.cluster.node import Node
+from repro.scheduler.placement import FreeNodeIndex, PlacementPolicy
+
+
+def default_node_risk(node: Node) -> float:
+    """Failure-history risk score from the node's live counters."""
+    counters = node.counters
+    return (
+        2.0 * (counters.multi_node_node_fails + counters.single_node_node_fails)
+        + 1.0 * counters.tickets
+        + 0.5 * counters.xid_cnt
+    )
+
+
+@dataclass
+class ReliabilityAwarePlacement(PlacementPolicy):
+    """Gang placement ordered by (risk tier, pod packing).
+
+    Nodes are bucketed into integer risk tiers so that *small* risk
+    differences don't shred pod locality: within a tier, the base policy's
+    fullest-pod-first order is preserved.
+    """
+
+    risk_of: Callable[[Node], float] = default_node_risk
+    tier_width: float = 2.0
+
+    def __post_init__(self):
+        if self.tier_width <= 0:
+            raise ValueError("tier_width must be positive")
+
+    def _tier(self, node: Node) -> int:
+        return int(self.risk_of(node) // self.tier_width)
+
+    def place(
+        self, index: FreeNodeIndex, n_gpus: int, excluded: Set[int]
+    ) -> Optional[List[Node]]:
+        if n_gpus < GPUS_PER_NODE:
+            # Sub-server jobs keep best-fit packing: they restart cheaply,
+            # and they are exactly what should absorb the risky capacity.
+            return super().place(index, n_gpus, excluded)
+        if n_gpus % GPUS_PER_NODE != 0:
+            raise ValueError(
+                f"multi-server jobs must use whole servers (got {n_gpus})"
+            )
+        n_nodes = n_gpus // GPUS_PER_NODE
+        candidates = index.full_node_candidates(excluded)
+        if len(candidates) < n_nodes:
+            return None
+        pod_sizes: dict = {}
+        for node in candidates:
+            pod_sizes[node.pod_id] = pod_sizes.get(node.pod_id, 0) + 1
+        candidates.sort(
+            key=lambda n: (
+                self._tier(n),
+                -pod_sizes[n.pod_id],
+                n.pod_id,
+                n.node_id,
+            )
+        )
+        return candidates[:n_nodes]

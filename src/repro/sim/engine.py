@@ -1,0 +1,134 @@
+"""The discrete-event engine.
+
+A classic event-heap design: callbacks are scheduled at absolute times and
+executed in time order; ties break by insertion sequence so runs are fully
+deterministic.  Events can be cancelled in O(1) (lazy deletion).
+
+The engine is time-unit agnostic; by convention the rest of the repository
+uses seconds (see :mod:`repro.sim.timeunits`).
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback on the engine's heap.
+
+    Ordering is (time, seq); ``seq`` is a monotonically increasing counter
+    that makes the schedule a stable total order.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event simulation loop."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._executed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of callbacks executed so far (cancelled ones excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Scheduling in the past is an error: it would silently reorder
+        history and make runs non-reproducible.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = ScheduledEvent(
+            time=float(time), seq=next(self._seq), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def stop(self) -> None:
+        """Request the run loop to halt after the current callback."""
+        self._stopped = True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Execute events in time order until ``end_time`` (inclusive).
+
+        Events scheduled exactly at ``end_time`` execute.  ``max_events``
+        guards against runaway feedback loops in tests.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (reentrant run_until)")
+        self._running = True
+        self._stopped = False
+        budget = max_events if max_events is not None else float("inf")
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if self._executed >= budget:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; "
+                        "possible event feedback loop"
+                    )
+                self._now = event.time
+                event.callback()
+                self._executed += 1
+            # Advance the clock to the horizon even if the heap drained
+            # early, so periodic measurements read a consistent end time.
+            if not self._stopped and end_time > self._now:
+                self._now = end_time
+        finally:
+            self._running = False
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Run until the heap is empty (bounded by ``max_events``)."""
+        self.run_until(float("inf"), max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self._now:.1f}, pending={self.pending_events}, "
+            f"executed={self._executed})"
+        )

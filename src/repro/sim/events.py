@@ -1,0 +1,95 @@
+"""Structured event records emitted during a campaign.
+
+The engine itself schedules opaque callbacks; subsystems that want a durable
+record of *what happened* (health checks firing, jobs changing state, links
+flapping) append :class:`EventRecord` entries to an :class:`EventLog`.  The
+analysis layer consumes these logs rather than live objects, mirroring how
+the paper's analysis consumes Slurm and health-check logs rather than the
+cluster itself.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One timestamped fact about the simulated cluster.
+
+    Attributes:
+        time: Simulation time in seconds.
+        kind: Namespaced event kind, e.g. ``"health.check_failed"`` or
+            ``"sched.job_state"``.
+        subject: Primary entity the event concerns (node id, job id, ...).
+        data: Free-form payload; values must be JSON-serializable.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """An append-only, time-ordered-by-construction list of events."""
+
+    def __init__(self) -> None:
+        self._records: List[EventRecord] = []
+
+    def append(self, record: EventRecord) -> None:
+        self._records.append(record)
+
+    def emit(self, time: float, kind: str, subject: str, **data: Any) -> EventRecord:
+        """Create, append, and return an :class:`EventRecord`."""
+        record = EventRecord(time=time, kind=kind, subject=subject, data=data)
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> EventRecord:
+        return self._records[index]
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        predicate: Optional[Callable[[EventRecord], bool]] = None,
+    ) -> List[EventRecord]:
+        """Return events matching every provided criterion.
+
+        ``kind`` matches exactly or by prefix when it ends with ``"."``
+        (e.g. ``"health."`` matches all health events).  ``start`` is
+        inclusive and ``end`` exclusive.
+        """
+        out = []
+        for rec in self._records:
+            if kind is not None:
+                if kind.endswith("."):
+                    if not rec.kind.startswith(kind):
+                        continue
+                elif rec.kind != kind:
+                    continue
+            if subject is not None and rec.subject != subject:
+                continue
+            if start is not None and rec.time < start:
+                continue
+            if end is not None and rec.time >= end:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def kinds(self) -> Dict[str, int]:
+        """Return a histogram of event kinds."""
+        counts: Dict[str, int] = {}
+        for rec in self._records:
+            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        return counts

@@ -1,0 +1,47 @@
+"""Time units and helpers.
+
+All simulation timestamps are floats measured in seconds from the campaign
+start (t=0).  Durations use the same unit.  These helpers exist so that call
+sites read like the paper ("a 60 minute checkpoint interval", "failures per
+node-day") instead of bare magic numbers.
+"""
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+def minutes(n: float) -> float:
+    """Return ``n`` minutes expressed in seconds."""
+    return n * MINUTE
+
+
+def hours(n: float) -> float:
+    """Return ``n`` hours expressed in seconds."""
+    return n * HOUR
+
+
+def days(n: float) -> float:
+    """Return ``n`` days expressed in seconds."""
+    return n * DAY
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest natural unit.
+
+    >>> format_duration(90)
+    '1.5m'
+    >>> format_duration(7200)
+    '2.0h'
+    >>> format_duration(172800)
+    '2.0d'
+    """
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}m"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"

@@ -1,0 +1,52 @@
+"""Bootstrap confidence intervals.
+
+Fig. 9 shows 90% confidence intervals around mean job-run ETTR per size
+bucket; we reproduce those with a nonparametric percentile bootstrap.
+"""
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.90,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap CI for an arbitrary statistic.
+
+    Returns ``(point, lo, hi)``.  With fewer than two samples the interval
+    degenerates to the point estimate.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    point = float(statistic(arr))
+    if arr.size < 2:
+        return point, point, point
+    if rng is None:
+        rng = np.random.default_rng(0)
+    estimates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = arr[rng.integers(0, arr.size, size=arr.size)]
+        estimates[i] = statistic(resample)
+    alpha = 1.0 - confidence
+    lo, hi = np.percentile(estimates, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return point, float(lo), float(hi)
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.90,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float, float]:
+    """Percentile-bootstrap CI for the mean; returns ``(mean, lo, hi)``."""
+    return bootstrap_ci(
+        samples, lambda a: float(np.mean(a)), confidence, n_resamples, rng
+    )

@@ -1,0 +1,141 @@
+"""Parametric sampling specs for the synthetic workload.
+
+The trace generator composes these small, validated specs: log-normal
+durations, discrete size mixtures, and Zipf-like tails.  Keeping them as
+frozen dataclasses makes workload profiles declarative and serializable.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogNormalSpec:
+    """A log-normal in natural-log parameterization with optional truncation."""
+
+    mu: float
+    sigma: float
+    minimum: float = 0.0
+    maximum: float = float("inf")
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if self.minimum < 0:
+            raise ValueError("minimum must be non-negative")
+        if self.maximum <= self.minimum:
+            raise ValueError("maximum must exceed minimum")
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw truncated samples (resampling the out-of-range tail)."""
+        return truncated_sample(
+            lambda n: rng.lognormal(self.mu, self.sigma, size=n),
+            self.minimum,
+            self.maximum,
+            size,
+        )
+
+    @property
+    def median(self) -> float:
+        return float(np.exp(self.mu))
+
+
+@dataclass(frozen=True)
+class ZipfSizeSpec:
+    """A Zipf-weighted distribution over an explicit support of sizes."""
+
+    support: Tuple[int, ...]
+    exponent: float = 1.5
+
+    def __post_init__(self):
+        if len(self.support) == 0:
+            raise ValueError("support must be non-empty")
+        if any(s <= 0 for s in self.support):
+            raise ValueError("support values must be positive")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    def probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, len(self.support) + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        return weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        idx = rng.choice(len(self.support), size=size, p=self.probabilities())
+        return np.asarray(self.support, dtype=int)[idx]
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """A discrete mixture: value -> probability weight (normalized lazily)."""
+
+    weights: Tuple[Tuple[int, float], ...]
+
+    @classmethod
+    def from_dict(cls, weights: Dict[int, float]) -> "MixtureSpec":
+        return cls(tuple(sorted(weights.items())))
+
+    def __post_init__(self):
+        if len(self.weights) == 0:
+            raise ValueError("mixture must have at least one component")
+        if any(w < 0 for _v, w in self.weights):
+            raise ValueError("mixture weights must be non-negative")
+        if sum(w for _v, w in self.weights) <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+
+    def values(self) -> np.ndarray:
+        return np.asarray([v for v, _w in self.weights], dtype=int)
+
+    def probabilities(self) -> np.ndarray:
+        w = np.asarray([w for _v, w in self.weights], dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return rng.choice(self.values(), size=size, p=self.probabilities())
+
+    def probability_of(self, value: int) -> float:
+        for (v, _w), p in zip(self.weights, self.probabilities()):
+            if v == value:
+                return float(p)
+        return 0.0
+
+
+def sample_lognormal(
+    rng: np.random.Generator,
+    median: float,
+    sigma: float,
+    size: int = 1,
+    minimum: float = 0.0,
+    maximum: float = float("inf"),
+) -> np.ndarray:
+    """Convenience: sample a truncated log-normal given its median."""
+    if median <= 0:
+        raise ValueError(f"median must be positive, got {median}")
+    spec = LogNormalSpec(
+        mu=float(np.log(median)), sigma=sigma, minimum=minimum, maximum=maximum
+    )
+    return spec.sample(rng, size=size)
+
+
+def truncated_sample(draw, minimum: float, maximum: float, size: int) -> np.ndarray:
+    """Rejection-sample ``size`` values from ``draw`` within [minimum, maximum].
+
+    ``draw(n)`` must return ``n`` i.i.d. samples.  Falls back to clipping
+    after a bounded number of rounds so pathological bounds cannot hang.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    out = np.empty(0)
+    for _round in range(100):
+        need = size - out.size
+        if need <= 0:
+            break
+        batch = np.asarray(draw(max(need * 2, 8)), dtype=float)
+        keep = batch[(batch >= minimum) & (batch <= maximum)]
+        out = np.concatenate([out, keep[:need]])
+    if out.size < size:
+        pad = np.clip(np.asarray(draw(size - out.size), dtype=float), minimum, maximum)
+        out = np.concatenate([out, pad])
+    return out

@@ -1,0 +1,72 @@
+"""Rolling-window series used for failure-rate evolution (Fig. 5)."""
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def rolling_rate(
+    event_times: Sequence[float],
+    window: float,
+    start: float,
+    end: float,
+    step: float,
+    exposure_per_time: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Trailing-window event rate sampled on a regular grid.
+
+    At each grid time ``t`` the rate is the number of events in
+    ``(t - window, t]`` divided by ``window * exposure_per_time``.  With
+    ``exposure_per_time`` set to the node count and ``window`` in days, the
+    result is "failures per node-day", the unit of Fig. 5.
+
+    Returns ``(grid_times, rates)``.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if end < start:
+        raise ValueError(f"end ({end}) must be >= start ({start})")
+    if exposure_per_time <= 0:
+        raise ValueError("exposure_per_time must be positive")
+    times = np.sort(np.asarray(list(event_times), dtype=float))
+    grid = np.arange(start, end + step / 2, step)
+    # For a trailing window (t - window, t], count = #(times <= t) - #(times <= t - window).
+    upper = np.searchsorted(times, grid, side="right")
+    lower = np.searchsorted(times, grid - window, side="right")
+    counts = (upper - lower).astype(float)
+    rates = counts / (window * exposure_per_time)
+    return grid, rates
+
+
+def rolling_mean(
+    sample_times: Sequence[float],
+    sample_values: Sequence[float],
+    window: float,
+    start: float,
+    end: float,
+    step: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Trailing-window mean of a scattered series on a regular grid.
+
+    Grid points whose trailing window contains no samples get ``nan``.
+    """
+    if window <= 0 or step <= 0:
+        raise ValueError("window and step must be positive")
+    t = np.asarray(list(sample_times), dtype=float)
+    v = np.asarray(list(sample_values), dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("sample_times and sample_values must have equal length")
+    order = np.argsort(t)
+    t, v = t[order], v[order]
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    grid = np.arange(start, end + step / 2, step)
+    upper = np.searchsorted(t, grid, side="right")
+    lower = np.searchsorted(t, grid - window, side="right")
+    counts = upper - lower
+    sums = csum[upper] - csum[lower]
+    means: List[float] = []
+    for c, s in zip(counts, sums):
+        means.append(s / c if c > 0 else float("nan"))
+    return grid, np.asarray(means)

@@ -1,0 +1,38 @@
+"""Storage substrate: the clusters' three tiers and checkpoint-write costs.
+
+Section II-A describes three offerings — a POSIX/NFS tier for home
+directories and common checkpoint patterns, AirStore (a high-bandwidth
+read-only dataset cache), and ObjectStore (high-capacity/throughput object
+storage for checkpoints beyond NFS).  Fig. 10's conclusions assume
+*non-blocking* checkpoint writes; this package quantifies when that
+assumption matters by modelling write times per tier and the ETTR of
+blocking vs asynchronous checkpointing.
+"""
+
+from repro.storage.tiers import (
+    StorageTier,
+    NFS,
+    AIRSTORE,
+    OBJECTSTORE,
+    checkpoint_write_time,
+    model_checkpoint_gb,
+)
+from repro.storage.checkpointing import (
+    CheckpointMode,
+    ettr_with_checkpoint_writes,
+    optimal_blocking_interval,
+    blocking_overhead_fraction,
+)
+
+__all__ = [
+    "StorageTier",
+    "NFS",
+    "AIRSTORE",
+    "OBJECTSTORE",
+    "checkpoint_write_time",
+    "model_checkpoint_gb",
+    "CheckpointMode",
+    "ettr_with_checkpoint_writes",
+    "optimal_blocking_interval",
+    "blocking_overhead_fraction",
+]

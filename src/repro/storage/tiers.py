@@ -1,0 +1,98 @@
+"""Storage tiers and checkpoint sizing.
+
+Bandwidth figures are aggregate, order-of-magnitude characterizations of
+the three offerings in Section II-A, chosen so their *relative* behaviour
+matches the paper's guidance (NFS for ease of use, ObjectStore "for
+checkpointing and storing files when the NFS endpoint is insufficient").
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One storage offering's performance envelope.
+
+    Attributes:
+        name: Human-readable tier name.
+        aggregate_write_gbps: Fleet-wide write ceiling (Gb/s).
+        aggregate_read_gbps: Fleet-wide read ceiling (Gb/s).
+        per_client_write_gbps: What a single writer node can push (Gb/s).
+    """
+
+    name: str
+    aggregate_write_gbps: float
+    aggregate_read_gbps: float
+    per_client_write_gbps: float
+
+    def __post_init__(self):
+        if min(
+            self.aggregate_write_gbps,
+            self.aggregate_read_gbps,
+            self.per_client_write_gbps,
+        ) <= 0:
+            raise ValueError(f"tier {self.name}: bandwidths must be positive")
+
+
+#: POSIX/NFS flash tier: convenient, modest aggregate write bandwidth.
+NFS = StorageTier(
+    name="NFS",
+    aggregate_write_gbps=400.0,
+    aggregate_read_gbps=800.0,
+    per_client_write_gbps=10.0,
+)
+
+#: AirStore: read-optimized dataset cache — writes are not its job.
+AIRSTORE = StorageTier(
+    name="AirStore",
+    aggregate_write_gbps=100.0,
+    aggregate_read_gbps=4000.0,
+    per_client_write_gbps=2.0,
+)
+
+#: ObjectStore: the high-throughput checkpoint sink.
+OBJECTSTORE = StorageTier(
+    name="ObjectStore",
+    aggregate_write_gbps=2000.0,
+    aggregate_read_gbps=2000.0,
+    per_client_write_gbps=20.0,
+)
+
+
+def model_checkpoint_gb(
+    n_params_billion: float,
+    bytes_per_param: float = 2.0,
+    optimizer_state_multiplier: float = 6.0,
+) -> float:
+    """Checkpoint size for a model of ``n_params_billion`` parameters.
+
+    Default: bf16 weights plus fp32 Adam moments and master weights
+    (~12 bytes/param extra), the common mixed-precision recipe.
+    """
+    if n_params_billion <= 0:
+        raise ValueError("n_params_billion must be positive")
+    if bytes_per_param <= 0 or optimizer_state_multiplier < 0:
+        raise ValueError("invalid size parameters")
+    total_bytes_per_param = bytes_per_param * (1.0 + optimizer_state_multiplier)
+    return n_params_billion * total_bytes_per_param
+
+
+def checkpoint_write_time(
+    checkpoint_gb: float,
+    tier: StorageTier,
+    n_writer_nodes: int,
+) -> float:
+    """Seconds to land a sharded checkpoint on ``tier``.
+
+    Writers shard the state; throughput is the lesser of the tier's
+    aggregate ceiling and what the writer fleet can push.
+    """
+    if checkpoint_gb <= 0:
+        raise ValueError("checkpoint_gb must be positive")
+    if n_writer_nodes <= 0:
+        raise ValueError("n_writer_nodes must be positive")
+    throughput_gbps = min(
+        tier.aggregate_write_gbps,
+        tier.per_client_write_gbps * n_writer_nodes,
+    )
+    return checkpoint_gb * 8.0 / throughput_gbps

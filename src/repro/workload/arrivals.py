@@ -1,0 +1,55 @@
+"""Job arrival processes.
+
+Submissions follow a Poisson process with an optional diurnal modulation
+(research clusters see day/night swings in interactive submissions).
+Non-homogeneous sampling uses standard thinning against the peak rate.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sim.timeunits import DAY
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Poisson arrivals at ``rate_per_day`` with sinusoidal diurnality.
+
+    ``diurnal_amplitude`` of 0 is homogeneous; 0.5 means the instantaneous
+    rate swings +/-50% around the mean over each simulated day.
+    """
+
+    rate_per_day: float
+    diurnal_amplitude: float = 0.3
+
+    def __post_init__(self):
+        if self.rate_per_day <= 0:
+            raise ValueError(f"rate_per_day must be positive, got {self.rate_per_day}")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+    def instantaneous_rate(self, t: float) -> float:
+        """Arrivals per day at simulation time ``t`` (seconds)."""
+        phase = 2 * np.pi * (t % DAY) / DAY
+        return self.rate_per_day * (1 + self.diurnal_amplitude * np.sin(phase))
+
+    def sample_times(
+        self, start: float, end: float, rng: np.random.Generator
+    ) -> List[float]:
+        """All arrival times in [start, end), via thinning."""
+        if end <= start:
+            raise ValueError(f"end ({end}) must exceed start ({start})")
+        peak = self.rate_per_day * (1 + self.diurnal_amplitude)
+        peak_per_second = peak / DAY
+        times: List[float] = []
+        t = start
+        while True:
+            t += rng.exponential(1.0 / peak_per_second)
+            if t >= end:
+                break
+            accept_prob = self.instantaneous_rate(t) / peak
+            if rng.random() < accept_prob:
+                times.append(t)
+        return times

@@ -1,0 +1,99 @@
+"""Job intent: what a user asked for, before the cluster has its say.
+
+A :class:`JobSpec` captures the submission-time parameters plus the job's
+*intended* fate — what would happen on perfectly reliable hardware.  The
+scheduler overlays reality: preemptions, timeouts, node failures, requeues.
+Keeping intent separate from outcome is what lets the analysis layer ask
+"which failures were infrastructure's fault?" the same way the paper does.
+"""
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.cluster.components import GPUS_PER_NODE
+from repro.jobtypes import IntendedOutcome, MAX_JOB_LIFETIME, QosTier
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Submission-time description of one logical job.
+
+    Attributes:
+        job_id: Unique id; requeues keep it (matching the paper's
+            same-job-ID guarantee) and bump the attempt counter instead.
+        jobrun_id: Groups retry chains of the same logical training run for
+            ETTR analysis; many specs are singleton runs.
+        project: Owning project/team (quota bookkeeping).
+        n_gpus: Requested GPUs.  Sub-server jobs share nodes; larger jobs
+            take ``ceil(n_gpus / 8)`` whole servers.
+        qos: Priority tier.
+        submit_time: Simulation time of first submission.
+        work_seconds: Productive compute the job needs to finish.
+        time_limit: Per-attempt wallclock limit (<= 7 days).
+        intended_outcome: Fate absent infrastructure failures.
+        outcome_fraction: For FAILED_USER / CANCELLED / OOM, the fraction of
+            ``work_seconds`` at which the user-level event strikes.
+        max_requeues: Cap on automatic requeues after interruptions.
+        exclude_nodes: Node ids the submitter blacklisted.
+    """
+
+    job_id: int
+    jobrun_id: int
+    project: str
+    n_gpus: int
+    qos: QosTier
+    submit_time: float
+    work_seconds: float
+    time_limit: float = MAX_JOB_LIFETIME
+    intended_outcome: IntendedOutcome = IntendedOutcome.COMPLETED
+    outcome_fraction: float = 1.0
+    max_requeues: int = 10
+    exclude_nodes: FrozenSet[int] = frozenset()
+
+    def __post_init__(self):
+        if self.n_gpus <= 0:
+            raise ValueError(f"job {self.job_id}: n_gpus must be positive")
+        if self.n_gpus > GPUS_PER_NODE and self.n_gpus % GPUS_PER_NODE != 0:
+            raise ValueError(
+                f"job {self.job_id}: multi-server jobs must use whole servers "
+                f"(got {self.n_gpus} GPUs)"
+            )
+        if self.work_seconds <= 0:
+            raise ValueError(f"job {self.job_id}: work_seconds must be positive")
+        if not 0 < self.time_limit <= MAX_JOB_LIFETIME:
+            raise ValueError(
+                f"job {self.job_id}: time_limit must be in (0, {MAX_JOB_LIFETIME}]"
+            )
+        if not 0 < self.outcome_fraction <= 1:
+            raise ValueError(
+                f"job {self.job_id}: outcome_fraction must be in (0, 1]"
+            )
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: submit_time must be >= 0")
+        if self.max_requeues < 0:
+            raise ValueError(f"job {self.job_id}: max_requeues must be >= 0")
+
+    @property
+    def n_nodes(self) -> int:
+        """Servers the gang allocation spans (sub-server jobs use one)."""
+        return max(1, math.ceil(self.n_gpus / GPUS_PER_NODE))
+
+    @property
+    def gpus_per_node(self) -> int:
+        """GPUs held on each allocated node."""
+        return self.n_gpus if self.n_gpus < GPUS_PER_NODE else GPUS_PER_NODE
+
+    @property
+    def effective_work(self) -> float:
+        """Seconds of runtime until the job's own intent resolves it."""
+        if self.intended_outcome in (
+            IntendedOutcome.FAILED_USER,
+            IntendedOutcome.CANCELLED,
+            IntendedOutcome.OOM,
+        ):
+            return self.work_seconds * self.outcome_fraction
+        return self.work_seconds
+
+    def is_single_node(self) -> bool:
+        return self.n_nodes == 1

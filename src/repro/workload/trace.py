@@ -1,0 +1,189 @@
+"""The campaign trace: the repo's equivalent of 11 months of cluster logs.
+
+A :class:`Trace` bundles everything the paper's analyses read:
+
+* per-attempt job records (the Slurm accounting log),
+* per-node end-of-campaign records (counters, swaps, lemon ground truth),
+* the health/cluster event stream (check firings, incidents, tickets).
+
+Traces serialize to JSONL so campaigns can be generated once and analyzed
+many times.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.jobtypes import JobAttemptRecord, JobState
+from repro.sim.events import EventLog, EventRecord
+from repro.jobtypes import QosTier
+
+
+@dataclass(frozen=True)
+class NodeTraceRecord:
+    """End-of-campaign snapshot of one node's reliability counters."""
+
+    node_id: int
+    rack_id: int
+    pod_id: int
+    gpu_swaps: int
+    is_lemon_truth: bool
+    lemon_component: Optional[str]
+    excl_jobid_count: int
+    xid_cnt: int
+    tickets: int
+    out_count: int
+    multi_node_node_fails: int
+    single_node_node_fails: int
+    single_node_jobs_seen: int
+
+    @property
+    def single_node_node_failure_rate(self) -> float:
+        if self.single_node_jobs_seen == 0:
+            return 0.0
+        return self.single_node_node_fails / self.single_node_jobs_seen
+
+    def signal(self, name: str) -> float:
+        """Fetch a lemon-detection signal by its paper name."""
+        if name == "single_node_node_failure_rate":
+            return self.single_node_node_failure_rate
+        if not hasattr(self, name):
+            raise KeyError(f"unknown lemon signal {name!r}")
+        return float(getattr(self, name))
+
+
+@dataclass
+class Trace:
+    """One campaign's complete observable record."""
+
+    cluster_name: str
+    n_nodes: int
+    n_gpus: int
+    start: float
+    end: float
+    job_records: List[JobAttemptRecord] = field(default_factory=list)
+    node_records: List[NodeTraceRecord] = field(default_factory=list)
+    events: List[EventRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("trace end must exceed start")
+        if self.n_nodes <= 0 or self.n_gpus <= 0:
+            raise ValueError("trace must describe a non-empty cluster")
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def span_seconds(self) -> float:
+        return self.end - self.start
+
+    def records_by_state(self, state: JobState) -> List[JobAttemptRecord]:
+        return [r for r in self.job_records if r.state is state]
+
+    def hw_failure_records(self) -> List[JobAttemptRecord]:
+        """Attempts terminated by infrastructure (the (HW) rows of Fig. 3)."""
+        return [r for r in self.job_records if r.is_hw_interruption]
+
+    def health_events(self, kind: str = "health.") -> List[EventRecord]:
+        return [e for e in self.events if e.kind.startswith(kind)]
+
+    def events_log(self) -> EventLog:
+        log = EventLog()
+        for event in self.events:
+            log.append(event)
+        return log
+
+    def total_gpu_seconds(self) -> float:
+        return sum(r.gpu_seconds for r in self.job_records)
+
+    def node_record(self, node_id: int) -> NodeTraceRecord:
+        for record in self.node_records:
+            if record.node_id == node_id:
+                return record
+        raise KeyError(f"node {node_id} not in trace")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the trace as JSONL: header, jobs, nodes, events."""
+        path = Path(path)
+        with path.open("w") as fh:
+            header = {
+                "type": "header",
+                "cluster_name": self.cluster_name,
+                "n_nodes": self.n_nodes,
+                "n_gpus": self.n_gpus,
+                "start": self.start,
+                "end": self.end,
+                "metadata": self.metadata,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for rec in self.job_records:
+                row = asdict(rec)
+                row["type"] = "job"
+                row["state"] = rec.state.value
+                row["qos"] = int(rec.qos)
+                row["node_ids"] = list(rec.node_ids)
+                fh.write(json.dumps(row) + "\n")
+            for node in self.node_records:
+                row = asdict(node)
+                row["type"] = "node"
+                fh.write(json.dumps(row) + "\n")
+            for event in self.events:
+                row = {
+                    "type": "event",
+                    "time": event.time,
+                    "kind": event.kind,
+                    "subject": event.subject,
+                    "data": event.data,
+                }
+                fh.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        path = Path(path)
+        header = None
+        jobs: List[JobAttemptRecord] = []
+        nodes: List[NodeTraceRecord] = []
+        events: List[EventRecord] = []
+        with path.open() as fh:
+            for line in fh:
+                row = json.loads(line)
+                kind = row.pop("type")
+                if kind == "header":
+                    header = row
+                elif kind == "job":
+                    row["state"] = JobState(row["state"])
+                    row["qos"] = QosTier(row["qos"])
+                    row["node_ids"] = tuple(row["node_ids"])
+                    jobs.append(JobAttemptRecord(**row))
+                elif kind == "node":
+                    nodes.append(NodeTraceRecord(**row))
+                elif kind == "event":
+                    events.append(
+                        EventRecord(
+                            time=row["time"],
+                            kind=row["kind"],
+                            subject=row["subject"],
+                            data=row["data"],
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown trace row type {kind!r}")
+        if header is None:
+            raise ValueError(f"{path} has no header row")
+        return cls(
+            cluster_name=header["cluster_name"],
+            n_nodes=header["n_nodes"],
+            n_gpus=header["n_gpus"],
+            start=header["start"],
+            end=header["end"],
+            job_records=jobs,
+            node_records=nodes,
+            events=events,
+            metadata=header.get("metadata", {}),
+        )

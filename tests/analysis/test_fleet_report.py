@@ -1,0 +1,30 @@
+import pytest
+
+from repro.analysis.fleet_report import fleet_report
+
+
+def test_fleet_report_fields(rsc1_trace):
+    report = fleet_report(rsc1_trace)
+    assert report.cluster_name == "RSC-1"
+    assert 0.6 <= report.utilization <= 1.0
+    assert 2.0 < report.rf_per_1000_node_days < 25.0
+    assert 0.5 < report.projected_mttf_16k_hours < 5.0
+    assert 0.4 <= report.completed_fraction <= 0.85
+    assert report.hw_job_fraction < 0.02
+    assert report.goodput_lost_gpu_hours > 0
+    assert len(report.top_failure_modes) <= 4
+    assert report.median_wait_minutes >= 0
+
+
+def test_fleet_report_render(rsc1_trace):
+    text = fleet_report(rsc1_trace).render()
+    assert "Fleet report" in text
+    assert "r_f" in text
+    assert "lemon suspects" in text
+
+
+def test_lemon_suspects_listed_when_present(rsc1_trace):
+    report = fleet_report(rsc1_trace)
+    truth = {r.node_id for r in rsc1_trace.node_records if r.is_lemon_truth}
+    if truth:
+        assert set(report.lemon_suspects) & truth

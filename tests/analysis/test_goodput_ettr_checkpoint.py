@@ -1,0 +1,99 @@
+import pytest
+
+from repro.analysis.checkpoint_sweep import RSC1_RF, RSC2_RF, checkpoint_sweep
+from repro.analysis.ettr_analysis import ettr_comparison
+from repro.analysis.goodput_loss import goodput_loss_analysis
+from repro.core.metrics import ETTRAssumptions
+from repro.sim.timeunits import HOUR, MINUTE
+
+
+def test_goodput_losses_present_and_bucketed(rsc1_trace):
+    result = goodput_loss_analysis(rsc1_trace)
+    assert result.losses, "campaign should lose some goodput to failures"
+    assert result.total_gpu_hours_lost > 0
+    assert 0.0 <= result.second_order_share <= 1.0
+    sizes = [l.gpus for l in result.losses]
+    assert sizes == sorted(sizes)
+
+
+def test_goodput_larger_jobs_lose_more_per_event(rsc1_trace):
+    result = goodput_loss_analysis(rsc1_trace)
+    big = [l for l in result.losses if l.gpus >= 128]
+    small = [l for l in result.losses if l.gpus <= 16]
+    if big and small:
+        big_per_event = sum(l.direct_gpu_hours for l in big) / max(
+            1, sum(l.n_direct for l in big)
+        )
+        small_per_event = sum(l.direct_gpu_hours for l in small) / max(
+            1, sum(l.n_direct for l in small)
+        )
+        assert big_per_event > small_per_event
+
+
+def test_goodput_render(rsc1_trace):
+    assert "Fig. 8" in goodput_loss_analysis(rsc1_trace).render()
+
+
+def test_ettr_comparison_buckets(rsc1_trace):
+    result = ettr_comparison(
+        rsc1_trace,
+        min_total_runtime=12 * HOUR,
+        qos=None,  # widen the cohort for the small test campaign
+        min_runs_per_bucket=3,
+    )
+    assert result.buckets, "expected at least one ETTR bucket"
+    for bucket in result.buckets:
+        assert 0.0 <= bucket.measured_mean <= 1.0
+        assert bucket.measured_lo <= bucket.measured_mean <= bucket.measured_hi
+        assert 0.0 <= bucket.expected <= 1.0
+
+
+def test_ettr_measured_close_to_expected(rsc1_trace):
+    """Fig. 9's claim: E[ETTR] and measured agree fairly well (>=64 GPUs)."""
+    result = ettr_comparison(
+        rsc1_trace, min_total_runtime=12 * HOUR, qos=None, min_runs_per_bucket=3
+    )
+    for bucket in result.buckets:
+        if bucket.gpus >= 64 and bucket.n_runs >= 5:
+            assert bucket.measured_mean == pytest.approx(bucket.expected, abs=0.15)
+
+
+def test_ettr_high_for_long_runs(rsc1_trace):
+    result = ettr_comparison(
+        rsc1_trace, min_total_runtime=12 * HOUR, qos=None, min_runs_per_bucket=2
+    )
+    means = [b.measured_mean for b in result.buckets]
+    assert max(means) > 0.85  # Observation 10's spirit at test scale
+
+
+def test_ettr_empty_cohort_raises(rsc1_trace):
+    with pytest.raises(ValueError, match="cohort"):
+        ettr_comparison(rsc1_trace, min_total_runtime=1000 * HOUR)
+
+
+def test_ettr_render(rsc1_trace):
+    text = ettr_comparison(
+        rsc1_trace, min_total_runtime=12 * HOUR, qos=None, min_runs_per_bucket=2
+    ).render()
+    assert "Fig. 9" in text
+
+
+def test_checkpoint_sweep_paper_callouts():
+    sweep = checkpoint_sweep()
+    # ETTR 0.5 at RSC-1 rate needs single-digit-minute checkpointing.
+    dt = sweep.required_interval(RSC1_RF, 0.5)
+    assert 5 * MINUTE < dt < 12 * MINUTE
+    # RSC-2's lower rate relaxes the requirement substantially.
+    assert sweep.required_interval(RSC2_RF, 0.5) > 2 * dt
+    # Hourly checkpointing at 100k GPUs is untenable (ETTR ~ 0).
+    assert sweep.ettr_at(RSC1_RF, 60 * MINUTE) == 0.0
+
+
+def test_checkpoint_sweep_grid_monotone():
+    sweep = checkpoint_sweep(intervals_minutes=(2, 30))
+    for rf in sweep.failure_rates:
+        assert sweep.ettr_at(rf, 2 * MINUTE) >= sweep.ettr_at(rf, 30 * MINUTE)
+
+
+def test_checkpoint_render():
+    assert "Fig. 10" in checkpoint_sweep().render()

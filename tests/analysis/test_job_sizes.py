@@ -1,0 +1,37 @@
+import pytest
+
+from repro.analysis.job_sizes import job_size_distribution
+from repro.workload.profiles import rsc1_profile
+
+
+def test_fractions_sum_to_one(rsc1_trace):
+    result = job_size_distribution(rsc1_trace)
+    assert sum(result.job_fraction.values()) == pytest.approx(1.0)
+    assert sum(result.compute_fraction.values()) == pytest.approx(1.0)
+
+
+def test_observation7_shape(rsc1_trace):
+    result = job_size_distribution(rsc1_trace)
+    assert result.fraction_of_jobs_at_most(8) > 0.85
+    small_compute = 1.0 - result.fraction_of_compute_at_least(16)
+    assert small_compute < 0.15
+
+
+def test_large_jobs_dominate_compute(rsc1_trace):
+    result = job_size_distribution(rsc1_trace)
+    # The 64-node test cluster caps jobs at 256 GPUs; even so the top
+    # sizes should dominate compute.
+    assert result.fraction_of_compute_at_least(64) > 0.5
+
+
+def test_profile_series_attached_when_given(rsc1_trace):
+    result = job_size_distribution(rsc1_trace, profile=rsc1_profile())
+    assert result.profile_job_fraction is not None
+    assert result.profile_job_fraction[1] > 0.4
+    assert sum(result.profile_compute_fraction.values()) == pytest.approx(1.0)
+
+
+def test_render(rsc1_trace):
+    text = job_size_distribution(rsc1_trace, profile=rsc1_profile()).render()
+    assert "Fig. 6" in text
+    assert "% jobs (model)" in text

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.analysis.headline import headline_numbers
+from repro.analysis.lemon_analysis import lemon_analysis
+
+
+def test_lemon_analysis_detects_ground_truth(rsc1_trace):
+    result = lemon_analysis(rsc1_trace)
+    assert result.report.true_lemon_ids, "campaign should seed lemons"
+    assert result.report.recall >= 0.5
+    # Lemon nodes accumulate clearly elevated signals.
+    assert (
+        result.lemon_signal_means["tickets"]
+        > 3 * result.fleet_signal_means["tickets"]
+    )
+
+
+def test_lemon_cdfs_cover_all_signals(rsc1_trace):
+    result = lemon_analysis(rsc1_trace)
+    from repro.core.lemon import LEMON_SIGNALS
+
+    assert set(result.signal_cdfs) == set(LEMON_SIGNALS)
+    for values, fracs in result.signal_cdfs.values():
+        assert fracs[-1] == pytest.approx(1.0)
+
+
+def test_root_cause_table_fractions(rsc1_trace):
+    result = lemon_analysis(rsc1_trace)
+    if result.root_causes:
+        assert sum(result.root_causes.values()) == pytest.approx(1.0)
+
+
+def test_lemon_render(rsc1_trace):
+    text = lemon_analysis(rsc1_trace).render()
+    assert "Fig. 11" in text
+    assert "Table II" in text
+
+
+def test_headline_numbers_in_band(rsc1_trace):
+    result = headline_numbers(rsc1_trace)
+    assert 0.7 <= result.utilization <= 1.0
+    assert result.hw_job_fraction < 0.01
+    assert result.small_job_fraction > 0.85
+    assert result.small_job_gpu_time_fraction < 0.15
+    assert 3.0 < result.rf_per_1000_node_days < 20.0
+
+
+def test_headline_render(rsc1_trace):
+    text = headline_numbers(rsc1_trace).render()
+    assert "paper" in text and "measured" in text
+
+
+def test_rsc2_has_lower_failure_rate(rsc1_trace, rsc2_trace):
+    r1 = headline_numbers(rsc1_trace)
+    r2 = headline_numbers(rsc2_trace)
+    assert r2.rf_per_1000_node_days < r1.rf_per_1000_node_days

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.analysis.queue_waits import queue_wait_analysis
+from repro.jobtypes import QosTier
+
+
+def test_all_cohorts_populated(rsc1_trace):
+    result = queue_wait_analysis(rsc1_trace)
+    assert result.by_qos
+    assert result.by_size
+    assert result.first_attempts.n > 0
+    total = sum(s.n for s in result.by_qos.values())
+    assert total == len(rsc1_trace.job_records)
+
+
+def test_high_priority_waits_less(rsc1_trace):
+    result = queue_wait_analysis(rsc1_trace)
+    if QosTier.HIGH in result.by_qos and QosTier.LOW in result.by_qos:
+        high = result.by_qos[QosTier.HIGH]
+        low = result.by_qos[QosTier.LOW]
+        if high.n >= 20 and low.n >= 20:
+            assert high.median_seconds <= low.p90_seconds
+
+
+def test_wait_stats_ordering(rsc1_trace):
+    result = queue_wait_analysis(rsc1_trace)
+    for stats in result.by_qos.values():
+        assert 0 <= stats.median_seconds <= stats.p90_seconds
+
+
+def test_render(rsc1_trace):
+    text = queue_wait_analysis(rsc1_trace).render()
+    assert "Queue waits" in text
+    assert "requeued attempts" in text
+
+
+def test_empty_trace_rejected():
+    from repro.workload.trace import Trace
+
+    trace = Trace(cluster_name="x", n_nodes=1, n_gpus=8, start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        queue_wait_analysis(trace)

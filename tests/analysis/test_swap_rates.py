@@ -1,0 +1,48 @@
+import pytest
+
+from repro.analysis.swap_rates import (
+    SwapRateSummary,
+    swap_rate_comparison,
+    swap_rate_summary,
+)
+
+
+def test_summary_units():
+    summary = SwapRateSummary(
+        cluster_name="X", total_swaps=10, n_gpus=1000, span_days=365.25
+    )
+    assert summary.swaps_per_1000_gpu_years == pytest.approx(10.0)
+
+
+def test_campaign_swaps_counted(rsc1_trace):
+    summary = swap_rate_summary(rsc1_trace)
+    assert summary.total_swaps >= 0
+    assert summary.n_gpus == rsc1_trace.n_gpus
+
+
+def test_rsc1_swaps_more_than_rsc2(rsc1_trace, rsc2_trace):
+    """Paper: RSC-1 GPUs swapped at ~3x the RSC-2 rate."""
+    comparison = swap_rate_comparison(rsc1_trace, rsc2_trace)
+    # GPU-domain hazard ratio between the profiles is ~3.2; the short
+    # campaign's small-sample noise warrants a loose band.
+    if comparison.secondary.total_swaps >= 2:
+        assert comparison.ratio > 1.2
+    else:
+        assert (
+            comparison.primary.total_swaps
+            >= comparison.secondary.total_swaps
+        )
+
+
+def test_render(rsc1_trace, rsc2_trace):
+    text = swap_rate_comparison(rsc1_trace, rsc2_trace).render()
+    assert "swaps / 1000 GPU-years" in text
+    assert "ratio" in text
+
+
+def test_empty_trace_rejected():
+    from repro.workload.trace import Trace
+
+    trace = Trace(cluster_name="x", n_nodes=1, n_gpus=8, start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        swap_rate_summary(trace)

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.cluster.components import ComponentType, FailureClass
+from repro.cluster.failures import FailureInjector
+from repro.cluster.hazards import HazardModel, HazardRegime
+from repro.cluster.health import HealthMonitor, default_health_checks
+from repro.cluster.node import Node
+from repro.sim.engine import Engine
+from repro.sim.events import EventLog
+from repro.sim.timeunits import DAY
+
+
+def build(n_nodes=20, rates=None, regimes=(), seed=0, on_incident=None):
+    engine = Engine()
+    nodes = {i: Node(i, i // 2, i // 20) for i in range(n_nodes)}
+    hazards = HazardModel.from_rates(
+        rates or {ComponentType.GPU: 50.0, ComponentType.IB_LINK: 50.0},
+        regimes=regimes,
+    )
+    monitor = HealthMonitor(
+        default_health_checks(), np.random.default_rng(seed), event_log=EventLog()
+    )
+    injector = FailureInjector(
+        engine, nodes, hazards, monitor, np.random.default_rng(seed + 1),
+        on_incident=on_incident,
+    )
+    return engine, nodes, injector
+
+
+def test_incident_count_tracks_rate():
+    # 20 nodes * 0.1 failures/node-day * 50 days = 100 expected.
+    engine, _nodes, injector = build()
+    injector.start()
+    engine.run_until(50 * DAY)
+    assert 60 <= len(injector.incidents) <= 140
+
+
+def test_incidents_carry_detection_results():
+    engine, _nodes, injector = build()
+    injector.start()
+    engine.run_until(20 * DAY)
+    attributed = [i for i in injector.incidents if i.attributed]
+    assert attributed, "most incidents should be detected by checks"
+    for incident in attributed:
+        assert incident.detection_time >= incident.time
+        assert incident.check_names
+
+
+def test_transient_and_permanent_both_occur():
+    engine, _nodes, injector = build()
+    injector.start()
+    engine.run_until(50 * DAY)
+    classes = {i.failure_class for i in injector.incidents}
+    assert classes == {FailureClass.TRANSIENT, FailureClass.PERMANENT}
+
+
+def test_nodes_in_remediation_do_not_fail():
+    engine, nodes, injector = build()
+    nodes[0].enter_remediation()
+    injector.start()
+    engine.run_until(30 * DAY)
+    assert all(i.node_id != 0 for i in injector.incidents)
+
+
+def test_regime_boundary_rearm_increases_rate():
+    regime = HazardRegime(
+        name="spike",
+        component=ComponentType.GPU,
+        multiplier=20.0,
+        start=10 * DAY,
+        end=20 * DAY,
+    )
+    engine, _nodes, injector = build(regimes=[regime])
+    injector.start()
+    engine.run_until(30 * DAY)
+    inside = [i for i in injector.incidents if 10 * DAY <= i.time < 20 * DAY]
+    outside = [i for i in injector.incidents if i.time < 10 * DAY]
+    # Spike decade should have several times the failures of the quiet one.
+    assert len(inside) > 2 * max(1, len(outside))
+
+
+def test_on_incident_callback_invoked():
+    seen = []
+    engine, _nodes, injector = build(on_incident=seen.append)
+    injector.start()
+    engine.run_until(10 * DAY)
+    assert seen == injector.incidents
+
+
+def test_stop_cancels_pending_failures():
+    engine, _nodes, injector = build()
+    injector.start()
+    engine.run_until(5 * DAY)
+    count = len(injector.incidents)
+    injector.stop()
+    engine.run_until(50 * DAY)
+    assert len(injector.incidents) == count
+
+
+def test_xid_counter_increments_on_gpu_failures():
+    engine, nodes, injector = build(
+        rates={ComponentType.GPU_MEMORY: 200.0}
+    )
+    injector.start()
+    engine.run_until(30 * DAY)
+    assert sum(n.counters.xid_cnt for n in nodes.values()) >= len(
+        injector.incidents
+    ) * 0.9

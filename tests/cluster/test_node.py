@@ -1,0 +1,109 @@
+import pytest
+
+from repro.cluster.node import Node, NodeState
+
+
+@pytest.fixture()
+def node():
+    return Node(node_id=5, rack_id=2, pod_id=0)
+
+
+def test_new_node_is_schedulable(node):
+    assert node.state is NodeState.HEALTHY
+    assert node.is_schedulable()
+    assert node.free_gpus == 8
+    assert node.fully_free
+
+
+def test_allocate_reduces_free_gpus(node):
+    node.allocate(job_id=1, gpus=3)
+    assert node.free_gpus == 5
+    assert node.busy
+    assert not node.fully_free
+    assert node.can_host(5) and not node.can_host(6)
+
+
+def test_multiple_jobs_share_a_node(node):
+    node.allocate(1, 4)
+    node.allocate(2, 4)
+    assert node.free_gpus == 0
+    node.release(1)
+    assert node.free_gpus == 4
+    assert node.running_jobs == {2: 4}
+
+
+def test_double_allocate_same_job_rejected(node):
+    node.allocate(1, 2)
+    with pytest.raises(RuntimeError, match="already resident"):
+        node.allocate(1, 2)
+
+
+def test_over_allocation_rejected(node):
+    node.allocate(1, 8)
+    with pytest.raises(RuntimeError):
+        node.allocate(2, 1)
+
+
+def test_release_unknown_job_is_noop(node):
+    node.release(99)
+    assert node.free_gpus == 8
+
+
+def test_draining_blocks_new_work_but_keeps_jobs(node):
+    node.allocate(1, 8)
+    node.start_drain()
+    assert node.state is NodeState.DRAINING
+    assert not node.can_host(1)
+    assert node.running_jobs  # resident job unaffected
+
+
+def test_remediation_voids_allocations(node):
+    node.allocate(1, 8)
+    node.enter_remediation()
+    assert node.state is NodeState.REMEDIATION
+    assert not node.busy
+    assert node.free_gpus == 8
+
+
+def test_return_to_service_requires_remediation(node):
+    with pytest.raises(RuntimeError):
+        node.return_to_service()
+    node.enter_remediation()
+    node.return_to_service()
+    assert node.is_schedulable()
+
+
+def test_quarantine_blocks_scheduling(node):
+    node.quarantined = True
+    assert not node.is_schedulable()
+    with pytest.raises(RuntimeError, match="quarantined"):
+        node.allocate(1, 1)
+
+
+def test_exclusion_counter_dedupes_jobs(node):
+    node.record_exclusion(10)
+    node.record_exclusion(10)
+    node.record_exclusion(11)
+    assert node.counters.excl_jobid_count == 2
+
+
+def test_single_node_failure_rate():
+    node = Node(0, 0, 0)
+    assert node.counters.single_node_node_failure_rate == 0.0
+    node.counters.single_node_jobs_seen = 10
+    node.counters.single_node_node_fails = 2
+    assert node.counters.single_node_node_failure_rate == pytest.approx(0.2)
+
+
+def test_counters_as_dict_covers_lemon_signals():
+    from repro.core.lemon import LEMON_SIGNALS
+
+    node = Node(0, 0, 0)
+    d = node.counters.as_dict()
+    for signal in LEMON_SIGNALS:
+        assert signal in d
+
+
+def test_negative_ids_rejected():
+    with pytest.raises(ValueError):
+        Node(-1, 0, 0)

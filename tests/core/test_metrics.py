@@ -1,0 +1,103 @@
+import pytest
+
+from repro.core.metrics import (
+    ETTRAssumptions,
+    cluster_goodput_fraction,
+    job_run_ettr,
+    mean_ettr,
+    model_flops_utilization,
+)
+from repro.jobtypes import JobAttemptRecord, JobState, QosTier
+from repro.sim.timeunits import HOUR, MINUTE
+from repro.workload.jobruns import JobRun
+
+
+def attempt(jobrun_id, attempt_no, enqueue, start, end, state=JobState.COMPLETED):
+    return JobAttemptRecord(
+        job_id=jobrun_id,
+        attempt=attempt_no,
+        jobrun_id=jobrun_id,
+        project="p",
+        qos=QosTier.HIGH,
+        n_gpus=64,
+        n_nodes=8,
+        enqueue_time=enqueue,
+        start_time=start,
+        end_time=end,
+        state=state,
+        node_ids=tuple(range(8)),
+    )
+
+
+def test_single_attempt_ettr_accounting():
+    run = JobRun(jobrun_id=1, attempts=[attempt(1, 0, 0.0, 600.0, 600.0 + 10 * HOUR)])
+    assumptions = ETTRAssumptions()
+    result = job_run_ettr(run, assumptions)
+    # First attempt loses only u0 (5 min); queue was 10 min.
+    assert result.unproductive == pytest.approx(5 * MINUTE)
+    assert result.queue == pytest.approx(600.0)
+    assert result.productive == pytest.approx(10 * HOUR - 5 * MINUTE)
+    assert 0.97 < result.ettr < 1.0
+    assert result.wallclock == pytest.approx(600.0 + 10 * HOUR)
+
+
+def test_interrupted_run_pays_checkpoint_loss():
+    run = JobRun(
+        jobrun_id=1,
+        attempts=[
+            attempt(1, 0, 0.0, 0.0, 10 * HOUR, state=JobState.NODE_FAIL),
+            attempt(1, 1, 10 * HOUR, 10 * HOUR, 20 * HOUR),
+        ],
+    )
+    result = job_run_ettr(run)
+    # u0 + (u0 + dt/2) = 5m + 35m = 40 minutes unproductive.
+    assert result.unproductive == pytest.approx(40 * MINUTE)
+    assert result.n_interruptions == 1
+
+
+def test_losses_capped_by_attempt_runtime():
+    run = JobRun(
+        jobrun_id=1,
+        attempts=[
+            attempt(1, 0, 0.0, 0.0, 10 * HOUR, state=JobState.NODE_FAIL),
+            attempt(1, 1, 10 * HOUR, 10 * HOUR, 10 * HOUR + 60.0),  # 1 min
+        ],
+    )
+    result = job_run_ettr(run)
+    assert result.unproductive == pytest.approx(5 * MINUTE + 60.0)
+
+
+def test_ettr_bounds():
+    run = JobRun(jobrun_id=1, attempts=[attempt(1, 0, 0.0, 0.0, 60.0)])
+    result = job_run_ettr(run)
+    assert 0.0 <= result.ettr <= 1.0
+    assert result.productive == 0.0  # 1-minute attempt swallowed by u0
+
+
+def test_mean_ettr_requires_runs():
+    with pytest.raises(ValueError):
+        mean_ettr([])
+
+
+def test_assumption_validation():
+    with pytest.raises(ValueError):
+        ETTRAssumptions(checkpoint_interval=0.0)
+    with pytest.raises(ValueError):
+        ETTRAssumptions(restart_overhead=-1.0)
+    assert ETTRAssumptions(checkpoint_interval=2 * HOUR).expected_checkpoint_loss == HOUR
+
+
+def test_mfu():
+    assert model_flops_utilization(40.0, 100.0) == pytest.approx(0.4)
+    with pytest.raises(ValueError):
+        model_flops_utilization(101.0, 100.0)
+    with pytest.raises(ValueError):
+        model_flops_utilization(1.0, 0.0)
+
+
+def test_cluster_goodput_fraction():
+    assert cluster_goodput_fraction(80.0, 10.0, 100.0) == pytest.approx(0.7)
+    with pytest.raises(ValueError):
+        cluster_goodput_fraction(10.0, 20.0, 100.0)
+    with pytest.raises(ValueError):
+        cluster_goodput_fraction(10.0, 1.0, 0.0)

@@ -1,0 +1,70 @@
+"""Section IV-A's mitigation claim, end to end.
+
+Run paired campaigns with a deliberately lemon-heavy cluster — one with the
+lemon-detection sweeper quarantining nodes, one without — and check the
+detector reduces hardware interruptions of larger jobs (the paper: 512+-GPU
+job failures dropped from 14% to 4% after quarantining 40 lemons).
+"""
+
+import pytest
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+
+
+def run_pair(seed):
+    spec = ClusterSpec.rsc1_like(
+        n_nodes=32,
+        campaign_days=40,
+        lemon_fraction=0.10,  # exaggerated so the effect is measurable
+        lemon_fail_per_day=0.5,
+        enable_episodic_regimes=False,
+    )
+    base = CampaignConfig(
+        cluster_spec=spec, duration_days=40, seed=seed, lemon_detection=False
+    )
+    mitigated = CampaignConfig(
+        cluster_spec=spec,
+        duration_days=40,
+        seed=seed,
+        lemon_detection=True,
+        lemon_detection_period_days=5.0,
+    )
+    return run_campaign(base), run_campaign(mitigated)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return run_pair(seed=21)
+
+
+def hw_rate(trace, min_gpus):
+    records = [r for r in trace.job_records if r.n_gpus >= min_gpus]
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.is_hw_interruption) / len(records)
+
+
+def test_detection_quarantines_lemons(traces):
+    _base, mitigated = traces
+    quarantined = {
+        e.data["node_id"]
+        for e in mitigated.events
+        if e.kind == "lemon.quarantined"
+    }
+    assert quarantined, "sweeper should quarantine some nodes"
+    truth = {r.node_id for r in mitigated.node_records if r.is_lemon_truth}
+    precision = len(quarantined & truth) / len(quarantined)
+    assert precision >= 0.6
+
+
+def test_mitigation_reduces_large_job_hw_failures(traces):
+    base, mitigated = traces
+    base_rate = hw_rate(base, min_gpus=64)
+    mitigated_rate = hw_rate(mitigated, min_gpus=64)
+    assert base_rate > 0, "lemon-heavy baseline must show failures"
+    assert mitigated_rate < base_rate
+
+
+def test_mitigation_reduces_total_interruptions(traces):
+    base, mitigated = traces
+    assert len(mitigated.hw_failure_records()) < len(base.hw_failure_records())

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.network.faults import flap_links, inject_bit_errors, restore_all
+from repro.network.links import LinkState
+from repro.network.topology import FabricSpec, FabricTopology
+
+
+@pytest.fixture()
+def fabric():
+    return FabricTopology(FabricSpec(n_servers=40))
+
+
+def test_inject_fraction_of_leaf_spine_links(fabric):
+    rng = np.random.default_rng(0)
+    degraded = inject_bit_errors(fabric, 0.1, 1e-5, rng)
+    tier_size = len(fabric.leaf_spine_links())
+    assert len(degraded) == round(0.1 * tier_size)
+    for link in degraded:
+        assert link.bit_error_rate == 1e-5
+        assert "leaf" in link.src or "leaf" in link.dst
+
+
+def test_inject_all_tier(fabric):
+    rng = np.random.default_rng(1)
+    degraded = inject_bit_errors(fabric, 0.05, 1e-5, rng, tier="all")
+    assert len(degraded) == round(0.05 * len(fabric.all_links()))
+
+
+def test_zero_fraction_is_noop(fabric):
+    assert inject_bit_errors(fabric, 0.0, 1e-5, np.random.default_rng(0)) == []
+
+
+def test_flap_brings_links_down(fabric):
+    rng = np.random.default_rng(2)
+    flapped = flap_links(fabric, 0.1, rng)
+    assert flapped
+    for link in flapped:
+        assert link.state is LinkState.DOWN
+
+
+def test_restore_all(fabric):
+    rng = np.random.default_rng(3)
+    inject_bit_errors(fabric, 0.2, 1e-4, rng)
+    flap_links(fabric, 0.1, rng)
+    restore_all(fabric)
+    for link in fabric.all_links():
+        assert link.state is LinkState.UP
+        assert link.bit_error_rate == 0.0
+
+
+def test_invalid_args(fabric):
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        inject_bit_errors(fabric, 1.5, 1e-5, rng)
+    with pytest.raises(ValueError):
+        inject_bit_errors(fabric, 0.1, 1e-5, rng, tier="bogus")

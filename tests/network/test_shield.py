@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.network import (
+    AdaptiveRouting,
+    FabricSpec,
+    FabricTopology,
+    StaticRouting,
+    inject_bit_errors,
+    restore_all,
+    ring_allreduce_bandwidth,
+)
+from repro.network.links import LinkState
+from repro.network.shield import (
+    DEFAULT_SHIELD_BER_THRESHOLD,
+    ShieldRouting,
+    apply_shield_link_faulting,
+)
+
+
+@pytest.fixture()
+def fabric():
+    return FabricTopology(FabricSpec(n_servers=64))
+
+
+def test_shield_matches_static_on_clean_fabric(fabric):
+    static = StaticRouting().route(fabric, 0, 25, 0, {})
+    shield = ShieldRouting().route(fabric, 0, 25, 0, {})
+    assert [l.key for l in static] == [l.key for l in shield]
+
+
+def test_shield_fails_over_around_hard_down_link(fabric):
+    static_path = StaticRouting().route(fabric, 0, 25, 0, {})
+    static_path[1].bring_down()  # kill the hashed leaf->spine leg
+    shield_path = ShieldRouting().route(fabric, 0, 25, 0, {})
+    assert shield_path[1].key != static_path[1].key
+    assert shield_path[1].state is LinkState.UP
+
+
+def test_shield_blind_to_subthreshold_degradation(fabric):
+    """The paper's complaint: retransmission-lossy links stay in service."""
+    static_path = StaticRouting().route(fabric, 0, 25, 0, {})
+    static_path[1].set_bit_error_rate(5e-5)  # devastating but subthreshold
+    shield_path = ShieldRouting().route(fabric, 0, 25, 0, {})
+    assert shield_path[1].key == static_path[1].key  # did not move
+
+
+def test_shield_faulting_downs_threshold_crossers(fabric):
+    link = fabric.all_links()[0]
+    link.set_bit_error_rate(DEFAULT_SHIELD_BER_THRESHOLD)
+    sub = fabric.all_links()[1]
+    sub.set_bit_error_rate(DEFAULT_SHIELD_BER_THRESHOLD / 10)
+    downed = apply_shield_link_faulting(fabric)
+    assert link in downed and link.state is LinkState.DOWN
+    assert sub.state is LinkState.UP
+
+
+def test_bandwidth_ordering_static_shield_adaptive(fabric):
+    """Under sub-threshold BER: AR > SHIELD ~= static, matching the
+    bring-up story (SHIELD alone left 50-75% losses on the table)."""
+    rng = np.random.default_rng(5)
+    inject_bit_errors(fabric, 0.30, 5e-5, rng)
+    servers = list(range(64))
+    static = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+    shield = ring_allreduce_bandwidth(fabric, servers, ShieldRouting())
+    adaptive = ring_allreduce_bandwidth(fabric, servers, AdaptiveRouting())
+    assert adaptive.bus_bandwidth_gbps > shield.bus_bandwidth_gbps
+    assert shield.bus_bandwidth_gbps == pytest.approx(
+        static.bus_bandwidth_gbps
+    )
+    assert static.bus_bandwidth_gbps < 0.75 * 1600.0
+
+
+def test_shield_helps_against_hard_downs(fabric):
+    """Where SHIELD *does* work: links that actually die."""
+    from repro.network.faults import flap_links
+
+    rng = np.random.default_rng(9)
+    flap_links(fabric, 0.15, rng)
+    servers = list(range(64))
+    static = ring_allreduce_bandwidth(fabric, servers, StaticRouting())
+    shield = ring_allreduce_bandwidth(fabric, servers, ShieldRouting())
+    assert shield.bus_bandwidth_gbps > static.bus_bandwidth_gbps
+    # Static keeps hashing some rails onto dead links and loses their
+    # share; SHIELD's fail-over restores the full ring.
+    assert static.bus_bandwidth_gbps < 0.75 * 1600.0
+    assert shield.bus_bandwidth_gbps == pytest.approx(1600.0)
+
+
+def test_all_spines_down_fall_back_gracefully(fabric):
+    for k in range(4):
+        fabric.link(fabric.leaf_name(0, 0), fabric.spine_name(0, k)).bring_down()
+    path = ShieldRouting().route(fabric, 0, 25, 0, {})
+    assert len(path) == 4  # still returns a (starving) path

@@ -1,0 +1,116 @@
+"""Property-based tests on the attribution window logic."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attribution import AttributionPolicy, FailureAttributor
+from repro.jobtypes import JobAttemptRecord, JobState, QosTier
+from repro.sim.events import EventRecord
+from repro.sim.timeunits import MINUTE
+from repro.workload.trace import Trace
+
+
+def make_record(end_time, node_ids=(0,)):
+    return JobAttemptRecord(
+        job_id=1,
+        attempt=0,
+        jobrun_id=1,
+        project="p",
+        qos=QosTier.NORMAL,
+        n_gpus=8 * len(node_ids),
+        n_nodes=len(node_ids),
+        enqueue_time=0.0,
+        start_time=max(0.0, end_time - 3600.0),
+        end_time=end_time,
+        state=JobState.FAILED,
+        node_ids=tuple(node_ids),
+    )
+
+
+def make_event(time, node_id, check="pcie", component="pcie"):
+    return EventRecord(
+        time,
+        "health.check_failed",
+        f"node-{node_id:05d}",
+        {
+            "node_id": node_id,
+            "check": check,
+            "component": component,
+            "severity": 3,
+            "incident_id": 0,
+        },
+    )
+
+
+def make_trace(record, events):
+    horizon = max([record.end_time] + [e.time for e in events]) + 1.0
+    return Trace(
+        cluster_name="T",
+        n_nodes=8,
+        n_gpus=64,
+        start=0.0,
+        end=horizon,
+        job_records=[record],
+        events=events,
+    )
+
+
+@given(
+    end_time=st.floats(min_value=4000.0, max_value=1e6, allow_nan=False),
+    offset=st.floats(min_value=-30 * MINUTE, max_value=30 * MINUTE,
+                     allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_window_membership_decides_attribution(end_time, offset):
+    record = make_record(end_time)
+    event_time = end_time + offset
+    assume(event_time >= 0)
+    trace = make_trace(record, [make_event(event_time, 0)])
+    [att] = FailureAttributor(trace).attribute_all()
+    in_window = -10 * MINUTE <= offset <= 5 * MINUTE
+    assert att.attributed == in_window
+
+
+@given(
+    end_time=st.floats(min_value=4000.0, max_value=1e6, allow_nan=False),
+    event_node=st.integers(min_value=0, max_value=7),
+    job_nodes=st.sets(
+        st.integers(min_value=0, max_value=7), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_only_allocated_nodes_matter(end_time, event_node, job_nodes):
+    record = make_record(end_time, node_ids=tuple(sorted(job_nodes)))
+    trace = make_trace(record, [make_event(end_time, event_node)])
+    [att] = FailureAttributor(trace).attribute_all()
+    assert att.attributed == (event_node in job_nodes)
+
+
+@given(
+    n_events=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_cause_is_always_among_seen_components(n_events, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    end_time = 10_000.0
+    components = ["pcie", "ib_link", "gpu", "gpu_memory"]
+    events = [
+        make_event(
+            end_time + float(rng.uniform(-10 * MINUTE, 5 * MINUTE)),
+            0,
+            check=str(rng.choice(components)),
+            component=str(rng.choice(components)),
+        )
+        for _ in range(n_events)
+    ]
+    record = make_record(end_time)
+    trace = make_trace(record, events)
+    [att] = FailureAttributor(trace).attribute_all()
+    if att.attributed:
+        assert att.cause_component in att.components_seen
+        assert len(att.checks) >= 1
+    else:
+        assert att.cause_component is None

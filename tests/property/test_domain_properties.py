@@ -1,0 +1,74 @@
+"""Property tests across domain objects: specs, buckets, collectives."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.mttf import project_mttf, size_bucket
+from repro.jobtypes import QosTier
+from repro.workload.spec import JobSpec
+
+valid_gpus = st.one_of(
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=1, max_value=512).map(lambda n: n * 8),
+)
+
+
+@given(gpus=valid_gpus)
+@settings(max_examples=200, deadline=None)
+def test_jobspec_node_accounting(gpus):
+    spec = JobSpec(
+        job_id=1,
+        jobrun_id=1,
+        project="p",
+        n_gpus=gpus,
+        qos=QosTier.NORMAL,
+        submit_time=0.0,
+        work_seconds=100.0,
+    )
+    assert spec.n_nodes * 8 >= spec.n_gpus
+    assert spec.gpus_per_node * spec.n_nodes >= spec.n_gpus
+    assert (spec.n_nodes - 1) * 8 < spec.n_gpus
+
+
+@given(gpus=st.integers(min_value=1, max_value=200_000))
+@settings(max_examples=200, deadline=None)
+def test_size_bucket_monotone(gpus):
+    assert size_bucket(gpus) >= 8
+    assert size_bucket(gpus + 1) >= size_bucket(gpus)
+
+
+@given(
+    a=st.integers(min_value=8, max_value=100_000),
+    b=st.integers(min_value=8, max_value=100_000),
+    rf=st.floats(min_value=1e-5, max_value=0.1, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_mttf_projection_antitone_in_size(a, b, rf):
+    if a <= b:
+        assert project_mttf(a, rf) >= project_mttf(b, rf)
+    else:
+        assert project_mttf(a, rf) <= project_mttf(b, rf)
+
+
+@given(
+    n_groups=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_collective_allocation_respects_capacity(n_groups, seed):
+    """Max-min fairness never allocates beyond a link's effective capacity."""
+    from repro.network.collectives import concurrent_allreduce_bandwidths
+    from repro.network.routing import StaticRouting
+    from repro.network.topology import FabricSpec, FabricTopology
+
+    fabric = FabricTopology(FabricSpec(n_servers=40))
+    rng = np.random.default_rng(seed)
+    servers = rng.choice(40, size=2 * n_groups, replace=False)
+    groups = [
+        (int(servers[2 * i]), int(servers[2 * i + 1])) for i in range(n_groups)
+    ]
+    results = concurrent_allreduce_bandwidths(fabric, groups, StaticRouting())
+    assert len(results) == n_groups
+    for result in results:
+        assert 0.0 <= result.bus_bandwidth_gbps <= 8 * 200.0 + 1e-9

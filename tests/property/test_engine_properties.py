@@ -1,0 +1,75 @@
+"""Property-based tests of the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_execution_respects_time_order(times):
+    engine = Engine()
+    executed = []
+    for t in times:
+        engine.schedule_at(t, lambda t=t: executed.append(t))
+    engine.run_until(1e7)
+    assert executed == sorted(times)
+    assert len(executed) == len(times)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    horizon=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_horizon_partitions_events(times, horizon):
+    engine = Engine()
+    executed = []
+    for t in times:
+        engine.schedule_at(t, lambda t=t: executed.append(t))
+    engine.run_until(horizon)
+    assert len(executed) == sum(1 for t in times if t <= horizon)
+    assert engine.pending_events == sum(1 for t in times if t > horizon)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=30,
+    ),
+    cancel_index=st.integers(min_value=0, max_value=29),
+)
+@settings(max_examples=100, deadline=None)
+def test_cancellation_removes_exactly_one(times, cancel_index):
+    cancel_index = cancel_index % len(times)
+    engine = Engine()
+    executed = []
+    events = [
+        engine.schedule_at(t, lambda t=t: executed.append(t)) for t in times
+    ]
+    events[cancel_index].cancel()
+    engine.run_until(1e7)
+    expected = sorted(times[:cancel_index] + times[cancel_index + 1 :])
+    assert executed == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_rng_streams_reproducible(seed):
+    from repro.sim.rng import RngStreams
+
+    a = RngStreams(seed).stream("x").random(5)
+    b = RngStreams(seed).stream("x").random(5)
+    assert list(a) == list(b)

@@ -1,0 +1,83 @@
+"""Property-based tests on the ETTR model's shape."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ettr import (
+    ETTRParameters,
+    expected_ettr,
+    expected_ettr_simple,
+)
+from repro.sim.timeunits import DAY, HOUR, MINUTE
+
+params_strategy = st.builds(
+    ETTRParameters,
+    n_nodes=st.integers(min_value=1, max_value=20_000),
+    failure_rate_per_node_day=st.floats(
+        min_value=0.0, max_value=0.02, allow_nan=False
+    ),
+    checkpoint_interval=st.floats(
+        min_value=MINUTE, max_value=4 * HOUR, allow_nan=False
+    ),
+    restart_overhead=st.floats(min_value=0.0, max_value=HOUR, allow_nan=False),
+    queue_time=st.floats(min_value=0.0, max_value=4 * HOUR, allow_nan=False),
+    productive_runtime=st.floats(
+        min_value=HOUR, max_value=30 * DAY, allow_nan=False
+    ),
+)
+
+
+@given(params=params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_simple_ettr_in_unit_interval(params):
+    value = expected_ettr_simple(params)
+    assert 0.0 <= value <= 1.0
+
+
+@given(params=params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_full_ettr_in_unit_interval_when_valid(params):
+    try:
+        value = expected_ettr(params)
+    except ValueError:
+        return  # outside model validity: documented behaviour
+    assert 0.0 < value <= 1.0
+
+
+@given(params=params_strategy, factor=st.floats(min_value=1.1, max_value=10.0))
+@settings(max_examples=150, deadline=None)
+def test_ettr_monotone_decreasing_in_failure_rate(params, factor):
+    from dataclasses import replace
+
+    assume(params.failure_rate_per_node_day > 0)
+    worse = replace(
+        params,
+        failure_rate_per_node_day=params.failure_rate_per_node_day * factor,
+    )
+    assert expected_ettr_simple(worse) <= expected_ettr_simple(params)
+
+
+@given(params=params_strategy, factor=st.floats(min_value=1.1, max_value=10.0))
+@settings(max_examples=150, deadline=None)
+def test_ettr_monotone_decreasing_in_checkpoint_interval(params, factor):
+    from dataclasses import replace
+
+    slower = replace(
+        params, checkpoint_interval=params.checkpoint_interval * factor
+    )
+    assert expected_ettr_simple(slower) <= expected_ettr_simple(params)
+
+
+@given(params=params_strategy)
+@settings(max_examples=150, deadline=None)
+def test_full_model_never_exceeds_failure_free_bound(params):
+    """With failures, ETTR can't beat the failure-free queue+init bound."""
+    try:
+        value = expected_ettr(params)
+    except ValueError:
+        return
+    bound = params.productive_runtime / (
+        params.productive_runtime + params.queue_time + params.restart_overhead
+    )
+    assert value <= bound + 1e-9

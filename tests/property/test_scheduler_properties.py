@@ -1,0 +1,128 @@
+"""Property-based scheduler tests: invariants over random workloads.
+
+A failure-free cluster must conserve work: every submitted job eventually
+completes (given horizon), runs exactly its effective work across
+attempts, never oversubscribes a node, and never starts before it was
+submitted.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.components import ComponentType
+from repro.jobtypes import IntendedOutcome, JobState, QosTier
+from repro.scheduler.engine import SlurmLikeScheduler
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import DAY, HOUR
+from repro.workload.spec import JobSpec
+
+job_strategy = st.tuples(
+    st.sampled_from([1, 2, 4, 8, 16]),  # gpus
+    st.floats(min_value=600.0, max_value=6 * HOUR, allow_nan=False),  # work
+    st.sampled_from(list(QosTier)),
+    st.floats(min_value=0.0, max_value=1 * DAY, allow_nan=False),  # submit
+)
+
+
+def build_quiet_scheduler(n_nodes=3):
+    spec = ClusterSpec(
+        name="quiet",
+        n_nodes=n_nodes,
+        component_rates={ComponentType.GPU: 0.0},
+        campaign_days=30,
+        lemon_fraction=0.0,
+        enable_episodic_regimes=False,
+    )
+    engine = Engine()
+    cluster = Cluster(spec, engine, RngStreams(0))
+    scheduler = SlurmLikeScheduler(engine, cluster, RngStreams(0))
+    cluster.start()
+    return engine, scheduler
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_failure_free_work_conservation(jobs):
+    engine, scheduler = build_quiet_scheduler()
+    specs = []
+    for i, (gpus, work, qos, submit) in enumerate(jobs):
+        spec = JobSpec(
+            job_id=i + 1,
+            jobrun_id=i + 1,
+            project="p",
+            n_gpus=gpus,
+            qos=qos,
+            submit_time=submit,
+            work_seconds=work,
+        )
+        specs.append(spec)
+        scheduler.submit(spec)
+    engine.run_until(25 * DAY)
+    by_job = {}
+    for record in scheduler.records:
+        by_job.setdefault(record.job_id, []).append(record)
+    for spec in specs:
+        records = by_job.get(spec.job_id, [])
+        assert records, f"job {spec.job_id} never finished"
+        # Final state is COMPLETED; total runtime equals the work.
+        assert records[-1].state is JobState.COMPLETED
+        total = sum(r.runtime for r in records)
+        assert abs(total - spec.work_seconds) < 1e-6
+        # Never started before submission.
+        assert min(r.start_time for r in records) >= spec.submit_time
+
+
+@given(jobs=st.lists(job_strategy, min_size=2, max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_no_oversubscription_under_random_load(jobs):
+    engine, scheduler = build_quiet_scheduler(n_nodes=2)
+    for i, (gpus, work, qos, submit) in enumerate(jobs):
+        scheduler.submit(
+            JobSpec(
+                job_id=i + 1,
+                jobrun_id=i + 1,
+                project="p",
+                n_gpus=gpus,
+                qos=qos,
+                submit_time=submit,
+                work_seconds=work,
+            )
+        )
+    engine.run_until(25 * DAY)
+    # Sweep each node's intervals for concurrent GPU usage.
+    per_node = {}
+    for record in scheduler.records:
+        gpus = record.n_gpus if record.n_gpus < 8 else 8
+        for node_id in record.node_ids:
+            per_node.setdefault(node_id, []).append((record.start_time, gpus))
+            per_node[node_id].append((record.end_time, -gpus))
+    for node_id, deltas in per_node.items():
+        deltas.sort()
+        level = 0
+        for _t, delta in deltas:
+            level += delta
+            assert level <= 8
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_queue_waits_nonnegative_and_records_ordered(jobs):
+    engine, scheduler = build_quiet_scheduler()
+    for i, (gpus, work, qos, submit) in enumerate(jobs):
+        scheduler.submit(
+            JobSpec(
+                job_id=i + 1,
+                jobrun_id=i + 1,
+                project="p",
+                n_gpus=gpus,
+                qos=qos,
+                submit_time=submit,
+                work_seconds=work,
+            )
+        )
+    engine.run_until(25 * DAY)
+    for record in scheduler.records:
+        assert record.queue_wait >= 0
+        assert record.runtime >= 0

@@ -1,0 +1,106 @@
+"""Property-based tests: trace serialization and lemon policy behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jobtypes import JobAttemptRecord, JobState, QosTier
+from repro.workload.trace import NodeTraceRecord, Trace
+
+states = st.sampled_from(list(JobState) [2:])  # terminal-ish states only
+qos = st.sampled_from(list(QosTier))
+
+
+@st.composite
+def record_strategy(draw, job_id):
+    enqueue = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    wait = draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    runtime = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    n_nodes = draw(st.integers(min_value=1, max_value=4))
+    return JobAttemptRecord(
+        job_id=job_id,
+        attempt=draw(st.integers(min_value=0, max_value=3)),
+        jobrun_id=job_id,
+        project=draw(st.sampled_from(["a", "b", "c"])),
+        qos=draw(qos),
+        n_gpus=n_nodes * 8,
+        n_nodes=n_nodes,
+        enqueue_time=enqueue,
+        start_time=enqueue + wait,
+        end_time=enqueue + wait + runtime,
+        state=draw(states),
+        node_ids=tuple(range(n_nodes)),
+        hw_attributed=draw(st.booleans()),
+    )
+
+
+@st.composite
+def trace_strategy(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    records = [draw(record_strategy(i + 1)) for i in range(n)]
+    horizon = max(r.end_time for r in records) + 1.0
+    return Trace(
+        cluster_name="prop",
+        n_nodes=8,
+        n_gpus=64,
+        start=0.0,
+        end=horizon,
+        job_records=records,
+        node_records=[
+            NodeTraceRecord(
+                node_id=i,
+                rack_id=i // 2,
+                pod_id=0,
+                gpu_swaps=draw(st.integers(min_value=0, max_value=3)),
+                is_lemon_truth=draw(st.booleans()),
+                lemon_component=None,
+                excl_jobid_count=0,
+                xid_cnt=draw(st.integers(min_value=0, max_value=9)),
+                tickets=draw(st.integers(min_value=0, max_value=9)),
+                out_count=0,
+                multi_node_node_fails=0,
+                single_node_node_fails=0,
+                single_node_jobs_seen=10,
+            )
+            for i in range(3)
+        ],
+    )
+
+
+@given(trace=trace_strategy())
+@settings(max_examples=50, deadline=None)
+def test_trace_roundtrip_is_lossless(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.job_records == trace.job_records
+    assert loaded.node_records == trace.node_records
+    assert loaded.n_gpus == trace.n_gpus
+    assert loaded.span_seconds == trace.span_seconds
+
+
+@given(trace=trace_strategy())
+@settings(max_examples=50, deadline=None)
+def test_gpu_time_accounting_consistent(trace):
+    total = trace.total_gpu_seconds()
+    assert total >= 0
+    assert total == sum(r.runtime * r.n_gpus for r in trace.job_records)
+
+
+@given(
+    xid=st.integers(min_value=0, max_value=20),
+    tickets=st.integers(min_value=0, max_value=20),
+    min_signals=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=100, deadline=None)
+def test_lemon_policy_vote_monotone(xid, tickets, min_signals):
+    """Raising any signal can only make a node *more* lemon-like."""
+    from repro.core.lemon import LemonPolicy
+
+    policy = LemonPolicy(
+        thresholds={"xid_cnt": 5, "tickets": 5}, min_signals=min_signals
+    )
+    base = {"xid_cnt": xid, "tickets": tickets}
+    worse = {"xid_cnt": xid + 1, "tickets": tickets + 1}
+    if policy.is_lemon(lambda k: base[k]):
+        assert policy.is_lemon(lambda k: worse[k])
+    assert policy.votes(lambda k: worse[k]) >= policy.votes(lambda k: base[k])

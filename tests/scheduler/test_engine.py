@@ -1,0 +1,206 @@
+"""Scheduler engine behaviour on a failure-free (and then failing) cluster."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.jobtypes import IntendedOutcome, JobState, QosTier
+from repro.scheduler.engine import SlurmLikeScheduler
+from repro.sim.engine import Engine
+from repro.sim.events import EventLog
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import DAY, HOUR
+from repro.workload.spec import JobSpec
+
+
+def build(n_nodes=8, failures=False, seed=0, **sched_kwargs):
+    spec = ClusterSpec.rsc1_like(
+        n_nodes=n_nodes,
+        campaign_days=60,
+        lemon_fraction=0.0,
+        enable_episodic_regimes=False,
+    )
+    if not failures:
+        # Zero out hazards for deterministic scheduling tests.
+        spec = ClusterSpec(
+            name="quiet",
+            n_nodes=n_nodes,
+            component_rates={k: 0.0 for k in spec.component_rates},
+            campaign_days=60,
+            lemon_fraction=0.0,
+            enable_episodic_regimes=False,
+        )
+    engine = Engine()
+    cluster = Cluster(spec, engine, RngStreams(seed), event_log=EventLog())
+    scheduler = SlurmLikeScheduler(engine, cluster, RngStreams(seed), **sched_kwargs)
+    cluster.start()
+    return engine, cluster, scheduler
+
+
+def make_spec(job_id, n_gpus=8, work=HOUR, qos=QosTier.NORMAL, submit=0.0, **kwargs):
+    return JobSpec(
+        job_id=job_id,
+        jobrun_id=job_id,
+        project=kwargs.pop("project", "p"),
+        n_gpus=n_gpus,
+        qos=qos,
+        submit_time=submit,
+        work_seconds=work,
+        **kwargs,
+    )
+
+
+def test_job_completes_with_expected_runtime():
+    engine, _cluster, sched = build()
+    sched.submit(make_spec(1, work=2 * HOUR))
+    engine.run_until(1 * DAY)
+    [record] = sched.records
+    assert record.state is JobState.COMPLETED
+    assert record.runtime == pytest.approx(2 * HOUR)
+
+
+def test_gang_allocation_spans_whole_servers():
+    engine, cluster, sched = build()
+    sched.submit(make_spec(1, n_gpus=24, work=HOUR))
+    engine.run_until(1 * DAY)
+    [record] = sched.records
+    assert record.n_nodes == 3
+    assert len(record.node_ids) == 3
+
+
+def test_sub_server_jobs_share_one_node():
+    engine, _cluster, sched = build(n_nodes=1)
+    for i in range(4):
+        sched.submit(make_spec(i + 1, n_gpus=2, work=HOUR))
+    engine.run_until(0.5 * HOUR)
+    # All four 2-GPU jobs fit the single 8-GPU node concurrently.
+    assert len(sched.running) == 4
+
+
+def test_intended_outcomes_map_to_states():
+    engine, _cluster, sched = build()
+    sched.submit(
+        make_spec(1, work=2 * HOUR, intended_outcome=IntendedOutcome.FAILED_USER,
+                  outcome_fraction=0.5)
+    )
+    sched.submit(
+        make_spec(2, work=2 * HOUR, intended_outcome=IntendedOutcome.CANCELLED,
+                  outcome_fraction=0.25)
+    )
+    sched.submit(
+        make_spec(3, work=2 * HOUR, intended_outcome=IntendedOutcome.OOM,
+                  outcome_fraction=0.1)
+    )
+    engine.run_until(1 * DAY)
+    by_id = {r.job_id: r for r in sched.records}
+    assert by_id[1].state is JobState.FAILED
+    assert by_id[1].runtime == pytest.approx(HOUR)
+    assert by_id[2].state is JobState.CANCELLED
+    assert by_id[3].state is JobState.OUT_OF_MEMORY
+    assert not by_id[1].is_hw_interruption
+
+
+def test_timeout_when_limit_below_work():
+    engine, _cluster, sched = build()
+    sched.submit(
+        make_spec(
+            1,
+            work=10 * HOUR,
+            intended_outcome=IntendedOutcome.TIMEOUT,
+            time_limit=3 * HOUR,
+        )
+    )
+    engine.run_until(1 * DAY)
+    [record] = sched.records
+    assert record.state is JobState.TIMEOUT
+    assert record.runtime == pytest.approx(3 * HOUR)
+
+
+def test_queueing_when_cluster_full():
+    engine, _cluster, sched = build(n_nodes=1)
+    sched.submit(make_spec(1, n_gpus=8, work=2 * HOUR))
+    sched.submit(make_spec(2, n_gpus=8, work=HOUR, submit=1.0))
+    engine.run_until(1 * DAY)
+    by_id = {r.job_id: r for r in sched.records}
+    assert by_id[2].queue_wait == pytest.approx(2 * HOUR - 1.0, rel=0.01)
+
+
+def test_high_priority_preempts_after_shield():
+    engine, _cluster, sched = build(n_nodes=1)
+    sched.submit(make_spec(1, n_gpus=8, work=30 * HOUR, qos=QosTier.LOW))
+    # High-priority job arrives at t=3h (victim past the 2h shield).
+    sched.submit(make_spec(2, n_gpus=8, work=HOUR, qos=QosTier.HIGH, submit=3 * HOUR))
+    engine.run_until(3 * DAY)
+    preempted = [r for r in sched.records if r.state is JobState.PREEMPTED]
+    assert len(preempted) == 1
+    assert preempted[0].job_id == 1
+    assert preempted[0].instigator_job_id == 2
+    # Victim eventually resumes and completes its remaining work.
+    final = [r for r in sched.records if r.job_id == 1][-1]
+    assert final.state is JobState.COMPLETED
+    total_runtime = sum(r.runtime for r in sched.records if r.job_id == 1)
+    assert total_runtime == pytest.approx(30 * HOUR, rel=0.01)
+
+
+def test_no_preemption_before_shield():
+    engine, _cluster, sched = build(n_nodes=1)
+    sched.submit(make_spec(1, n_gpus=8, work=1.5 * HOUR, qos=QosTier.LOW))
+    sched.submit(
+        make_spec(2, n_gpus=8, work=HOUR, qos=QosTier.HIGH, submit=0.5 * HOUR)
+    )
+    engine.run_until(1 * DAY)
+    assert not [r for r in sched.records if r.state is JobState.PREEMPTED]
+
+
+def test_quota_holds_job_in_queue():
+    from repro.scheduler.quota import QuotaManager
+
+    engine, _cluster, sched = build(n_nodes=4, quotas=QuotaManager({"capped": 8}))
+    sched.submit(make_spec(1, n_gpus=8, work=2 * HOUR, project="capped"))
+    sched.submit(make_spec(2, n_gpus=8, work=HOUR, project="capped", submit=1.0))
+    engine.run_until(1 * DAY)
+    by_id = {r.job_id: r for r in sched.records}
+    # Second job waited for the first despite free nodes elsewhere.
+    assert by_id[2].start_time >= by_id[1].end_time
+
+
+def test_duplicate_job_id_rejected():
+    _engine, _cluster, sched = build()
+    sched.submit(make_spec(1))
+    with pytest.raises(ValueError, match="duplicate"):
+        sched.submit(make_spec(1))
+
+
+def test_hw_failure_interrupts_and_requeues():
+    engine, cluster, sched = build(failures=True, n_nodes=4, seed=3)
+    # One long 4-node job; hazards at RSC-1 rates over 50 days will hit it.
+    sched.submit(make_spec(1, n_gpus=32, work=6 * DAY, max_requeues=100))
+    engine.run_until(55 * DAY)
+    records = [r for r in sched.records if r.job_id == 1]
+    assert records, "job should have run"
+    interruptions = [r for r in records if r.is_hw_interruption]
+    if interruptions:  # overwhelmingly likely at these rates
+        first = interruptions[0]
+        assert first.failing_node_id in first.node_ids
+        assert first.hw_component is not None
+        # Requeue keeps the job id and bumps the attempt counter.
+        idx = records.index(first)
+        if idx + 1 < len(records):
+            assert records[idx + 1].attempt == first.attempt + 1
+    # Job should eventually finish given generous requeues.
+    assert records[-1].state in (
+        JobState.COMPLETED,
+        JobState.NODE_FAIL,
+        JobState.FAILED,
+        JobState.REQUEUED,
+    )
+
+
+def test_lemon_counters_updated_on_failures():
+    engine, cluster, sched = build(failures=True, n_nodes=2, seed=5)
+    for i in range(40):
+        sched.submit(make_spec(i + 1, n_gpus=8, work=2 * DAY, submit=i * 1.0,
+                               max_requeues=0))
+    engine.run_until(50 * DAY)
+    fails = sum(n.counters.single_node_node_fails for n in cluster.nodes.values())
+    hw = [r for r in sched.records if r.is_hw_interruption and r.n_nodes == 1]
+    assert fails == len(hw)

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.jobtypes import QosTier
+from repro.scheduler.job import Job
+from repro.scheduler.priority import PriorityPolicy
+from repro.sim.timeunits import DAY, HOUR
+from repro.workload.spec import JobSpec
+
+
+def make_job(job_id, qos, n_gpus=8, submit=0.0):
+    return Job(
+        JobSpec(
+            job_id=job_id,
+            jobrun_id=job_id,
+            project="p",
+            n_gpus=n_gpus,
+            qos=qos,
+            submit_time=submit,
+            work_seconds=HOUR,
+        )
+    )
+
+
+def test_qos_dominates():
+    policy = PriorityPolicy()
+    low = make_job(1, QosTier.LOW)
+    high = make_job(2, QosTier.HIGH, submit=10 * DAY)  # much younger
+    ordered = policy.sort_pending([low, high], now=10 * DAY)
+    assert ordered[0] is high
+
+
+def test_age_breaks_ties_within_qos():
+    policy = PriorityPolicy()
+    old = make_job(1, QosTier.NORMAL, submit=0.0)
+    new = make_job(2, QosTier.NORMAL, submit=1 * DAY)
+    ordered = policy.sort_pending([new, old], now=2 * DAY)
+    assert ordered[0] is old
+
+
+def test_age_factor_saturates():
+    policy = PriorityPolicy(age_norm=1 * DAY)
+    job = make_job(1, QosTier.LOW)
+    assert policy.priority(job, now=1 * DAY) == policy.priority(job, now=5 * DAY)
+
+
+def test_size_factor_nudges_large_jobs():
+    policy = PriorityPolicy()
+    small = make_job(1, QosTier.NORMAL, n_gpus=8)
+    large = make_job(2, QosTier.NORMAL, n_gpus=4096)
+    assert policy.priority(large, 0.0) > policy.priority(small, 0.0)
+
+
+def test_deterministic_tie_break_by_job_id():
+    policy = PriorityPolicy()
+    a = make_job(1, QosTier.LOW)
+    b = make_job(2, QosTier.LOW)
+    ordered = policy.sort_pending([b, a], now=0.0)
+    assert [j.job_id for j in ordered] == [1, 2]
+
+
+def test_invalid_weights_rejected():
+    with pytest.raises(ValueError):
+        PriorityPolicy(age_norm=0.0)
+    with pytest.raises(ValueError):
+        PriorityPolicy(qos_weight=-1.0)

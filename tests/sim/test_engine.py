@@ -1,0 +1,130 @@
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_events_execute_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule_at(5.0, lambda: order.append("b"))
+    engine.schedule_at(1.0, lambda: order.append("a"))
+    engine.schedule_at(9.0, lambda: order.append("c"))
+    engine.run_until(10.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in "abc":
+        engine.schedule_at(3.0, lambda t=tag: order.append(t))
+    engine.run_until(3.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(7.5, lambda: seen.append(engine.now))
+    engine.run_until(100.0)
+    assert seen == [7.5]
+    assert engine.now == 100.0  # clock settles at the horizon
+
+
+def test_event_at_horizon_executes():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10.0, lambda: fired.append(True))
+    engine.run_until(10.0)
+    assert fired == [True]
+
+
+def test_event_after_horizon_does_not_execute():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10.0001, lambda: fired.append(True))
+    engine.run_until(10.0)
+    assert fired == []
+    assert engine.pending_events == 1
+
+
+def test_scheduling_in_the_past_raises():
+    engine = Engine()
+    engine.schedule_at(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+    with pytest.raises(ValueError, match="before current time"):
+        engine.run_until(10.0)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(ValueError, match="non-negative"):
+        engine.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    engine = Engine()
+    fired = []
+    event = engine.schedule_at(2.0, lambda: fired.append("x"))
+    event.cancel()
+    engine.run_until(5.0)
+    assert fired == []
+    assert engine.executed_events == 0
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule_after(1.0, lambda: order.append("second"))
+
+    engine.schedule_at(1.0, first)
+    engine.run_until(10.0)
+    assert order == ["first", "second"]
+
+
+def test_max_events_guard_raises():
+    engine = Engine()
+
+    def loop():
+        engine.schedule_after(0.0, loop)
+
+    engine.schedule_at(0.0, loop)
+    with pytest.raises(RuntimeError, match="max_events"):
+        engine.run_until(1.0, max_events=100)
+
+
+def test_stop_halts_the_loop():
+    engine = Engine()
+    order = []
+
+    def stopper():
+        order.append("stop")
+        engine.stop()
+
+    engine.schedule_at(1.0, stopper)
+    engine.schedule_at(2.0, lambda: order.append("never"))
+    engine.run_until(10.0)
+    assert order == ["stop"]
+
+
+def test_run_all_drains_heap():
+    engine = Engine()
+    count = []
+    for i in range(5):
+        engine.schedule_at(float(i), lambda: count.append(1))
+    engine.run_all()
+    assert len(count) == 5
+    assert engine.pending_events == 0
+
+
+def test_reentrant_run_raises():
+    engine = Engine()
+
+    def reenter():
+        engine.run_until(10.0)
+
+    engine.schedule_at(1.0, reenter)
+    with pytest.raises(RuntimeError, match="reentrant"):
+        engine.run_until(5.0)

@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.stats.rolling import rolling_mean, rolling_rate
+
+
+def test_constant_rate_recovered():
+    # One event per unit time over [0, 100): the trailing rate is ~1.
+    events = np.arange(0.5, 100.0, 1.0)
+    grid, rates = rolling_rate(events, window=10.0, start=10.0, end=100.0, step=5.0)
+    assert np.allclose(rates, 1.0)
+
+
+def test_exposure_normalization():
+    events = np.arange(0.5, 100.0, 1.0)
+    _g, rates = rolling_rate(
+        events, window=10.0, start=10.0, end=100.0, step=10.0, exposure_per_time=4.0
+    )
+    assert np.allclose(rates, 0.25)
+
+
+def test_burst_shows_up_in_window():
+    events = [50.0] * 20
+    grid, rates = rolling_rate(events, window=10.0, start=0.0, end=100.0, step=1.0)
+    assert rates[grid == 49.0][0] == 0.0
+    assert rates[grid == 55.0][0] == pytest.approx(2.0)
+    assert rates[grid == 61.0][0] == 0.0  # window has passed
+
+
+def test_empty_events_zero_rate():
+    grid, rates = rolling_rate([], window=5.0, start=0.0, end=10.0, step=1.0)
+    assert np.allclose(rates, 0.0)
+
+
+def test_invalid_window_raises():
+    with pytest.raises(ValueError):
+        rolling_rate([1.0], window=0.0, start=0.0, end=1.0, step=0.5)
+
+
+def test_rolling_mean_tracks_level_shift():
+    times = np.arange(0.0, 100.0, 1.0)
+    values = np.where(times < 50, 1.0, 3.0)
+    grid, means = rolling_mean(times, values, window=10.0, start=10.0, end=99.0, step=1.0)
+    assert means[grid == 40.0][0] == pytest.approx(1.0)
+    assert means[grid == 70.0][0] == pytest.approx(3.0)
+
+
+def test_rolling_mean_nan_when_window_empty():
+    grid, means = rolling_mean([5.0], [2.0], window=1.0, start=0.0, end=10.0, step=1.0)
+    assert np.isnan(means[grid == 0.0][0])
+    assert means[grid == 5.0][0] == pytest.approx(2.0)
+
+
+def test_rolling_mean_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        rolling_mean([1.0, 2.0], [1.0], window=1.0, start=0.0, end=1.0, step=0.5)

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.stats.survival import (
+    SurvivalCurve,
+    exponential_survival,
+    kaplan_meier,
+)
+
+
+def test_no_censoring_matches_empirical_survival():
+    durations = [1.0, 2.0, 3.0, 4.0]
+    curve = kaplan_meier(durations, [True] * 4)
+    assert curve.probability_at(0.5) == 1.0
+    assert curve.probability_at(1.0) == pytest.approx(0.75)
+    assert curve.probability_at(2.5) == pytest.approx(0.5)
+    assert curve.probability_at(4.0) == pytest.approx(0.0)
+    assert curve.n_events == 4 and curve.n_censored == 0
+
+
+def test_censoring_removes_from_risk_set_without_dropping_s():
+    # Event at t=1 (4 at risk), censor at t=2, event at t=3 (2 at risk).
+    curve = kaplan_meier([1.0, 2.0, 3.0, 4.0], [True, False, True, False])
+    assert curve.probability_at(1.0) == pytest.approx(0.75)
+    assert curve.probability_at(3.0) == pytest.approx(0.75 * 0.5)
+
+
+def test_all_censored_flat_curve():
+    curve = kaplan_meier([1.0, 2.0], [False, False])
+    assert curve.probability_at(10.0) == 1.0
+    assert curve.n_events == 0
+
+
+def test_median_survival():
+    curve = kaplan_meier([1.0, 2.0, 3.0, 4.0], [True] * 4)
+    assert curve.median_survival() == pytest.approx(2.0)
+    flat = kaplan_meier([1.0], [False])
+    assert flat.median_survival() == float("inf")
+
+
+def test_restricted_mean_of_step_function():
+    curve = kaplan_meier([1.0, 2.0], [True, True])
+    # S=1 on [0,1), 0.5 on [1,2), 0 beyond: area to 3 is 1 + 0.5 = 1.5.
+    assert curve.restricted_mean(3.0) == pytest.approx(1.5)
+
+
+def test_recovers_exponential_distribution():
+    rng = np.random.default_rng(0)
+    mttf = 50.0
+    lifetimes = rng.exponential(mttf, size=4000)
+    censor = rng.exponential(80.0, size=4000)
+    observed = lifetimes <= censor
+    durations = np.minimum(lifetimes, censor)
+    curve = kaplan_meier(durations, observed)
+    for t in (10.0, 25.0, 50.0):
+        expected = float(exponential_survival(np.array([t]), mttf)[0])
+        assert curve.probability_at(t) == pytest.approx(expected, abs=0.04)
+
+
+def test_job_attempt_survival_from_trace(rsc1_trace):
+    """Hardware-failure survival of >=64-GPU attempts: mostly censored."""
+    records = [r for r in rsc1_trace.job_records if r.n_gpus >= 64]
+    if len(records) < 20:
+        pytest.skip("not enough large attempts in the session trace")
+    curve = kaplan_meier(
+        [r.runtime for r in records],
+        [r.is_hw_interruption for r in records],
+    )
+    assert curve.n_censored > curve.n_events  # censoring dominates
+    assert 0.0 <= curve.probability_at(3600.0) <= 1.0
+    # Survival declines with duration.
+    assert curve.probability_at(48 * 3600.0) <= curve.probability_at(3600.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        kaplan_meier([], [])
+    with pytest.raises(ValueError):
+        kaplan_meier([1.0], [True, False])
+    with pytest.raises(ValueError):
+        kaplan_meier([-1.0], [True])
+    with pytest.raises(ValueError):
+        exponential_survival(np.array([1.0]), 0.0)
+    curve = kaplan_meier([1.0], [True])
+    with pytest.raises(ValueError):
+        curve.probability_at(-1.0)
+    with pytest.raises(ValueError):
+        curve.restricted_mean(0.0)

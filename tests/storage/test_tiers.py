@@ -1,0 +1,60 @@
+import pytest
+
+from repro.storage.tiers import (
+    AIRSTORE,
+    NFS,
+    OBJECTSTORE,
+    StorageTier,
+    checkpoint_write_time,
+    model_checkpoint_gb,
+)
+
+
+def test_tier_ordering_matches_paper_roles():
+    # ObjectStore is the checkpoint sink; AirStore is read-optimized.
+    assert OBJECTSTORE.aggregate_write_gbps > NFS.aggregate_write_gbps
+    assert AIRSTORE.aggregate_read_gbps > AIRSTORE.aggregate_write_gbps
+    assert NFS.aggregate_write_gbps > AIRSTORE.aggregate_write_gbps
+
+
+def test_tier_validation():
+    with pytest.raises(ValueError):
+        StorageTier("bad", 0.0, 1.0, 1.0)
+
+
+def test_model_checkpoint_size_llama_scale():
+    # 70B params, bf16 + Adam states: ~1 TB-ish.
+    size = model_checkpoint_gb(70.0)
+    assert 500.0 < size < 2000.0
+    assert model_checkpoint_gb(7.0) == pytest.approx(size / 10)
+
+
+def test_model_checkpoint_validation():
+    with pytest.raises(ValueError):
+        model_checkpoint_gb(0.0)
+    with pytest.raises(ValueError):
+        model_checkpoint_gb(1.0, bytes_per_param=0.0)
+
+
+def test_write_time_client_limited_vs_aggregate_limited():
+    size = 100.0  # GB
+    few = checkpoint_write_time(size, OBJECTSTORE, n_writer_nodes=2)
+    many = checkpoint_write_time(size, OBJECTSTORE, n_writer_nodes=1000)
+    assert few > many
+    # With 1000 writers the aggregate ceiling binds.
+    assert many == pytest.approx(size * 8 / OBJECTSTORE.aggregate_write_gbps)
+    # With 2 writers the per-client ceiling binds.
+    assert few == pytest.approx(size * 8 / (2 * OBJECTSTORE.per_client_write_gbps))
+
+
+def test_write_time_scales_with_size():
+    a = checkpoint_write_time(10.0, NFS, 10)
+    b = checkpoint_write_time(20.0, NFS, 10)
+    assert b == pytest.approx(2 * a)
+
+
+def test_write_time_validation():
+    with pytest.raises(ValueError):
+        checkpoint_write_time(0.0, NFS, 1)
+    with pytest.raises(ValueError):
+        checkpoint_write_time(1.0, NFS, 0)

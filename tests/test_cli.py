@@ -1,0 +1,101 @@
+import pytest
+
+from repro.cli import main
+
+
+def test_campaign_then_analyze_roundtrip(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "campaign",
+            "--cluster",
+            "rsc1",
+            "--nodes",
+            "16",
+            "--days",
+            "8",
+            "--seed",
+            "5",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    code = main(["analyze", "--trace", str(out), "--figure", "fig3"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Fig. 3" in captured.out
+
+
+def test_analyze_all_handles_uncomputable_figures(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    main(["campaign", "--nodes", "16", "--days", "6", "--out", str(out)])
+    code = main(["analyze", "--trace", str(out), "--figure", "all"])
+    assert code == 0
+    captured = capsys.readouterr()
+    # Everything either renders or reports itself not computable.
+    assert "Fig. 3" in captured.out
+    assert "Headline" in captured.out or "not computable" in captured.out
+
+
+def test_sweep_prints_fig10(capsys):
+    assert main(["sweep"]) == 0
+    assert "Fig. 10" in capsys.readouterr().out
+
+
+def test_plan_reachable_target(capsys):
+    code = main(
+        ["plan", "--gpus", "100000", "--rf", "6.5", "--target-ettr", "0.5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "checkpoint every" in out
+    assert "MTTF" in out
+
+
+def test_plan_unreachable_target(capsys):
+    code = main(
+        [
+            "plan",
+            "--gpus",
+            "1000000",
+            "--rf",
+            "6.5",
+            "--target-ettr",
+            "0.99",
+            "--restart-min",
+            "10",
+        ]
+    )
+    assert code == 1
+    assert "unreachable" in capsys.readouterr().out
+
+
+def test_plan_zero_rate_any_interval(capsys):
+    code = main(["plan", "--gpus", "1024", "--rf", "0.0"])
+    assert code == 0
+    assert "any checkpoint interval" in capsys.readouterr().out
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_report_subcommand(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    main(["campaign", "--nodes", "16", "--days", "8", "--seed", "2",
+          "--out", str(out)])
+    assert main(["report", "--trace", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "Fleet report" in text
+
+
+def test_export_subcommand(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    main(["campaign", "--nodes", "16", "--days", "8", "--seed", "2",
+          "--out", str(out)])
+    dest = tmp_path / "figs"
+    assert main(["export", "--trace", str(out), "--out-dir", str(dest)]) == 0
+    assert (dest / "fig3_job_status.csv").exists()

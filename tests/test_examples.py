@@ -1,0 +1,63 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The heavyweight examples (full_reproduction, what_if_replay, lemon ops)
+are exercised by the benchmark harness' equivalent code paths; here we
+run the quick ones as real subprocesses so import errors, API drift, or
+stale snippets in examples/ fail CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "plan_large_training_run.py",
+    "network_resilience.py",
+    "diagnose_nccl_timeout.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_prints_figures():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "Fig. 3" in result.stdout
+    assert "Fig. 6" in result.stdout
+    assert "Headline numbers" in result.stdout
+
+
+def test_diagnose_example_covers_all_verdicts():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "diagnose_nccl_timeout.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    for verdict in (
+        "no_fault",
+        "missing_ranks",
+        "in_collective_hang",
+        "mismatched_collectives",
+    ):
+        assert verdict in result.stdout
+    assert "refused to launch" in result.stdout

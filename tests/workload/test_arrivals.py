@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.sim.timeunits import DAY
+from repro.workload.arrivals import ArrivalProcess
+
+
+def test_homogeneous_rate_recovered():
+    proc = ArrivalProcess(rate_per_day=100.0, diurnal_amplitude=0.0)
+    rng = np.random.default_rng(0)
+    times = proc.sample_times(0.0, 50 * DAY, rng)
+    assert len(times) == pytest.approx(5000, rel=0.06)
+
+
+def test_times_sorted_and_in_range():
+    proc = ArrivalProcess(rate_per_day=50.0)
+    rng = np.random.default_rng(1)
+    times = proc.sample_times(10 * DAY, 20 * DAY, rng)
+    assert times == sorted(times)
+    assert all(10 * DAY <= t < 20 * DAY for t in times)
+
+
+def test_diurnal_rate_oscillates():
+    proc = ArrivalProcess(rate_per_day=100.0, diurnal_amplitude=0.5)
+    quarter = proc.instantaneous_rate(DAY / 4)  # sin peak
+    three_quarter = proc.instantaneous_rate(3 * DAY / 4)  # sin trough
+    assert quarter == pytest.approx(150.0)
+    assert three_quarter == pytest.approx(50.0)
+
+
+def test_diurnal_preserves_mean_rate():
+    proc = ArrivalProcess(rate_per_day=100.0, diurnal_amplitude=0.8)
+    rng = np.random.default_rng(2)
+    times = proc.sample_times(0.0, 100 * DAY, rng)
+    assert len(times) == pytest.approx(10_000, rel=0.06)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ArrivalProcess(rate_per_day=0.0)
+    with pytest.raises(ValueError):
+        ArrivalProcess(rate_per_day=1.0, diurnal_amplitude=1.0)
+    proc = ArrivalProcess(rate_per_day=1.0)
+    with pytest.raises(ValueError):
+        proc.sample_times(10.0, 10.0, np.random.default_rng(0))

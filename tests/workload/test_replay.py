@@ -1,0 +1,89 @@
+import pytest
+
+from repro.jobtypes import IntendedOutcome, JobState
+from repro.workload.replay import replay_trace, specs_from_trace
+
+
+def test_specs_reconstruct_every_job(rsc1_trace):
+    specs = specs_from_trace(rsc1_trace)
+    job_ids = {r.job_id for r in rsc1_trace.job_records}
+    assert {s.job_id for s in specs} <= job_ids
+    # Nearly every job yields a spec (zero-runtime chains are the gap).
+    assert len(specs) > 0.95 * len(job_ids)
+
+
+def test_specs_preserve_shape(rsc1_trace):
+    by_id = {}
+    for record in rsc1_trace.job_records:
+        by_id.setdefault(record.job_id, []).append(record)
+    for spec in specs_from_trace(rsc1_trace)[:200]:
+        records = by_id[spec.job_id]
+        first = min(records, key=lambda r: r.start_time)
+        assert spec.n_gpus == first.n_gpus
+        assert spec.qos == first.qos
+        assert spec.submit_time == first.enqueue_time
+        total = sum(r.runtime for r in records)
+        assert spec.work_seconds <= total + 1e-6 or spec.work_seconds > 0
+
+
+def test_specs_sorted_by_submit(rsc1_trace):
+    specs = specs_from_trace(rsc1_trace)
+    times = [s.submit_time for s in specs]
+    assert times == sorted(times)
+
+
+def test_user_failures_replayed_as_failures(rsc1_trace):
+    specs = {s.job_id: s for s in specs_from_trace(rsc1_trace)}
+    # A job whose single attempt FAILED without hardware attribution is a
+    # user failure; its replayed intent must be FAILED_USER.
+    for record in rsc1_trace.job_records:
+        if (
+            record.state is JobState.FAILED
+            and not record.is_hw_interruption
+            and record.attempt == 0
+            and record.job_id in specs
+        ):
+            last = max(
+                (
+                    r
+                    for r in rsc1_trace.job_records
+                    if r.job_id == record.job_id
+                ),
+                key=lambda r: r.start_time,
+            )
+            if last.state is JobState.FAILED:
+                assert (
+                    specs[record.job_id].intended_outcome
+                    is IntendedOutcome.FAILED_USER
+                )
+                break
+
+
+def test_replay_on_quieter_cluster_reduces_hw_failures(rsc1_trace):
+    """The what-if loop: same workload, half the failure rate."""
+    from repro.cluster.cluster import ClusterSpec
+
+    calm = ClusterSpec(
+        name="RSC-1-calm",
+        n_nodes=rsc1_trace.n_nodes,
+        component_rates={
+            k: v * 0.25
+            for k, v in ClusterSpec.rsc1_like(
+                n_nodes=rsc1_trace.n_nodes
+            ).component_rates.items()
+        },
+        campaign_days=rsc1_trace.span_seconds / 86400.0,
+        lemon_fraction=0.0,
+        enable_episodic_regimes=False,
+    )
+    replayed = replay_trace(rsc1_trace, calm, seed=1)
+    assert replayed.job_records, "replay should run the workload"
+    original_hw = len(rsc1_trace.hw_failure_records())
+    replayed_hw = len(replayed.hw_failure_records())
+    assert replayed_hw < original_hw
+    # The workload itself is recognizably the same scale.
+    assert (
+        0.5
+        < len(replayed.job_records) / len(rsc1_trace.job_records)
+        < 1.5
+    )

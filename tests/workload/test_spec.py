@@ -1,0 +1,70 @@
+import pytest
+
+from repro.jobtypes import IntendedOutcome, MAX_JOB_LIFETIME, QosTier
+from repro.workload.spec import JobSpec
+
+
+def make(**kwargs):
+    defaults = dict(
+        job_id=1,
+        jobrun_id=1,
+        project="p",
+        n_gpus=8,
+        qos=QosTier.NORMAL,
+        submit_time=0.0,
+        work_seconds=100.0,
+    )
+    defaults.update(kwargs)
+    return JobSpec(**defaults)
+
+
+@pytest.mark.parametrize(
+    "gpus,nodes,per_node",
+    [(1, 1, 1), (7, 1, 7), (8, 1, 8), (16, 2, 8), (4096, 512, 8)],
+)
+def test_node_math(gpus, nodes, per_node):
+    spec = make(n_gpus=gpus)
+    assert spec.n_nodes == nodes
+    assert spec.gpus_per_node == per_node
+    assert spec.is_single_node() == (nodes == 1)
+
+
+def test_multi_server_must_be_whole_servers():
+    with pytest.raises(ValueError, match="whole servers"):
+        make(n_gpus=12)
+
+
+def test_effective_work_scales_for_user_events():
+    spec = make(
+        intended_outcome=IntendedOutcome.FAILED_USER, outcome_fraction=0.25
+    )
+    assert spec.effective_work == pytest.approx(25.0)
+    completed = make(intended_outcome=IntendedOutcome.COMPLETED,
+                     outcome_fraction=0.25)
+    assert completed.effective_work == 100.0
+
+
+def test_timeout_intent_keeps_full_work():
+    spec = make(intended_outcome=IntendedOutcome.TIMEOUT, time_limit=50.0)
+    assert spec.effective_work == 100.0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        make(n_gpus=0)
+    with pytest.raises(ValueError):
+        make(work_seconds=0.0)
+    with pytest.raises(ValueError):
+        make(time_limit=MAX_JOB_LIFETIME * 2)
+    with pytest.raises(ValueError):
+        make(outcome_fraction=0.0)
+    with pytest.raises(ValueError):
+        make(submit_time=-1.0)
+    with pytest.raises(ValueError):
+        make(max_requeues=-1)
+
+
+def test_spec_is_immutable():
+    spec = make()
+    with pytest.raises(AttributeError):
+        spec.n_gpus = 16

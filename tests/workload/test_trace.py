@@ -1,0 +1,120 @@
+import pytest
+
+from repro.jobtypes import JobAttemptRecord, JobState, QosTier
+from repro.sim.events import EventRecord
+from repro.workload.trace import NodeTraceRecord, Trace
+
+
+def make_record(job_id=1, state=JobState.COMPLETED, **kwargs):
+    defaults = dict(
+        job_id=job_id,
+        attempt=0,
+        jobrun_id=job_id,
+        project="p",
+        qos=QosTier.NORMAL,
+        n_gpus=8,
+        n_nodes=1,
+        enqueue_time=0.0,
+        start_time=10.0,
+        end_time=100.0,
+        state=state,
+        node_ids=(0,),
+    )
+    defaults.update(kwargs)
+    return JobAttemptRecord(**defaults)
+
+
+def make_node(node_id=0, **kwargs):
+    defaults = dict(
+        node_id=node_id,
+        rack_id=0,
+        pod_id=0,
+        gpu_swaps=1,
+        is_lemon_truth=False,
+        lemon_component=None,
+        excl_jobid_count=0,
+        xid_cnt=2,
+        tickets=1,
+        out_count=1,
+        multi_node_node_fails=0,
+        single_node_node_fails=1,
+        single_node_jobs_seen=10,
+    )
+    defaults.update(kwargs)
+    return NodeTraceRecord(**defaults)
+
+
+@pytest.fixture()
+def trace():
+    return Trace(
+        cluster_name="T",
+        n_nodes=2,
+        n_gpus=16,
+        start=0.0,
+        end=1000.0,
+        job_records=[
+            make_record(1),
+            make_record(2, state=JobState.NODE_FAIL),
+            make_record(3, state=JobState.FAILED, hw_incident_id=7,
+                        hw_attributed=True, hw_component="pcie"),
+        ],
+        node_records=[make_node(0), make_node(1, is_lemon_truth=True,
+                                              lemon_component="gpu")],
+        events=[
+            EventRecord(5.0, "health.check_failed", "node-0", {"check": "pcie"}),
+            EventRecord(6.0, "cluster.incident", "node-0", {"component": "pcie"}),
+        ],
+        metadata={"seed": 1},
+    )
+
+
+def test_accessors(trace):
+    assert trace.span_seconds == 1000.0
+    assert len(trace.records_by_state(JobState.NODE_FAIL)) == 1
+    assert len(trace.hw_failure_records()) == 2
+    assert len(trace.health_events()) == 1
+    assert trace.total_gpu_seconds() == pytest.approx(3 * 90 * 8)
+    assert trace.node_record(1).is_lemon_truth
+    with pytest.raises(KeyError):
+        trace.node_record(99)
+
+
+def test_single_node_failure_rate_property():
+    node = make_node(single_node_node_fails=2, single_node_jobs_seen=8)
+    assert node.single_node_node_failure_rate == pytest.approx(0.25)
+    assert node.signal("single_node_node_failure_rate") == pytest.approx(0.25)
+    with pytest.raises(KeyError):
+        node.signal("nonsense")
+
+
+def test_save_load_roundtrip(tmp_path, trace):
+    path = tmp_path / "trace.jsonl"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.cluster_name == trace.cluster_name
+    assert loaded.n_gpus == trace.n_gpus
+    assert loaded.metadata == trace.metadata
+    assert loaded.job_records == trace.job_records
+    assert loaded.node_records == trace.node_records
+    assert len(loaded.events) == len(trace.events)
+    assert loaded.events[0].kind == "health.check_failed"
+
+
+def test_load_requires_header(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"type": "node", "node_id": 0}\n')
+    with pytest.raises((ValueError, TypeError)):
+        Trace.load(path)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        Trace(cluster_name="x", n_nodes=1, n_gpus=8, start=10.0, end=5.0)
+    with pytest.raises(ValueError):
+        Trace(cluster_name="x", n_nodes=0, n_gpus=8, start=0.0, end=5.0)
+
+
+def test_events_log_rebuild(trace):
+    log = trace.events_log()
+    assert len(log) == 2
+    assert log.filter(kind="cluster.incident")
