@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+# Quick regression guard for the runtime subsystem: simulates one tiny
+# campaign, asserts the second run is a cache hit and >=10x faster, and
+# prints events/sec + hit/miss counters.  Finishes in a few seconds.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "runtime_smoke" --benchmark-disable -s

@@ -8,8 +8,9 @@ campaigns on a lemon-heavy cluster and measure the same delta.
 import pytest
 from conftest import show
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec
 from repro.analysis.report import render_table
+from repro.runtime import run_campaigns
 
 
 def run_pair():
@@ -20,17 +21,18 @@ def run_pair():
         lemon_fail_per_day=0.5,
         enable_episodic_regimes=False,
     )
-    base = run_campaign(
-        CampaignConfig(cluster_spec=spec, duration_days=40, seed=21)
-    )
-    mitigated = run_campaign(
-        CampaignConfig(
-            cluster_spec=spec,
-            duration_days=40,
-            seed=21,
-            lemon_detection=True,
-            lemon_detection_period_days=5.0,
-        )
+    # Paired campaigns through the pool + trace cache.
+    base, mitigated = run_campaigns(
+        [
+            CampaignConfig(cluster_spec=spec, duration_days=40, seed=21),
+            CampaignConfig(
+                cluster_spec=spec,
+                duration_days=40,
+                seed=21,
+                lemon_detection=True,
+                lemon_detection_period_days=5.0,
+            ),
+        ]
     )
     return base, mitigated
 

@@ -9,8 +9,9 @@ cost of slower starts for clean gangs.
 import numpy as np
 from conftest import show
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec
 from repro.analysis.report import render_table
+from repro.runtime import run_campaigns
 from repro.scheduler.preflight import PreflightPolicy
 from repro.sim.timeunits import MINUTE
 
@@ -23,20 +24,22 @@ def run_pair():
         lemon_fail_per_day=0.5,
         enable_episodic_regimes=False,
     )
-    base = run_campaign(
-        CampaignConfig(cluster_spec=spec, duration_days=40, seed=55)
-    )
-    with_preflight = run_campaign(
-        CampaignConfig(
-            cluster_spec=spec,
-            duration_days=40,
-            seed=55,
-            preflight=PreflightPolicy(
-                min_nodes=2,
-                duration=10 * MINUTE,
-                stress_days=3.0,
+    # Both arms go through the campaign pool: parallel on multi-core
+    # machines, served from the trace cache on repeat runs.
+    base, with_preflight = run_campaigns(
+        [
+            CampaignConfig(cluster_spec=spec, duration_days=40, seed=55),
+            CampaignConfig(
+                cluster_spec=spec,
+                duration_days=40,
+                seed=55,
+                preflight=PreflightPolicy(
+                    min_nodes=2,
+                    duration=10 * MINUTE,
+                    stress_days=3.0,
+                ),
             ),
-        )
+        ]
     )
     return base, with_preflight
 

@@ -9,8 +9,9 @@ hardware-interruption rate, while small jobs absorb the risky capacity.
 
 from conftest import show
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec
 from repro.analysis.report import render_table
+from repro.runtime import run_campaigns
 
 
 def run_pair():
@@ -21,16 +22,17 @@ def run_pair():
         lemon_fail_per_day=0.5,
         enable_episodic_regimes=False,
     )
-    base = run_campaign(
-        CampaignConfig(cluster_spec=spec, duration_days=40, seed=33)
-    )
-    aware = run_campaign(
-        CampaignConfig(
-            cluster_spec=spec,
-            duration_days=40,
-            seed=33,
-            reliability_aware_placement=True,
-        )
+    # Paired campaigns through the pool + trace cache.
+    base, aware = run_campaigns(
+        [
+            CampaignConfig(cluster_spec=spec, duration_days=40, seed=33),
+            CampaignConfig(
+                cluster_spec=spec,
+                duration_days=40,
+                seed=33,
+                reliability_aware_placement=True,
+            ),
+        ]
     )
     return base, aware
 

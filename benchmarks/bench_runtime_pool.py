@@ -1,0 +1,114 @@
+"""Runtime subsystem: pooled 4-seed RSC-1 sweep + trace-cache speedup.
+
+The acceptance experiment for ``repro.runtime``:
+
+* a 4-seed RSC-1 sweep through :class:`CampaignPool` vs the serial loop
+  (on a multi-core machine the pool should finish in well under the
+  serial wall time; on a 1-core box it degrades to the inline path),
+* the same sweep again — every campaign must come back as a cache hit,
+  at least 10x faster than simulating,
+* digests: serial, pooled, and cache-loaded traces must be identical.
+
+Events/sec and hit/miss counters are printed so regressions in the
+runner show up in BENCH output, not just in wall-clock feel.
+"""
+
+import os
+import time
+
+from conftest import show
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis.report import render_table
+from repro.runtime import CampaignPool, TraceCache, seed_sweep_configs, trace_digest
+
+N_SEEDS = 4
+NODES = 32
+DAYS = 20
+
+
+def _sweep_configs():
+    spec = ClusterSpec.rsc1_like(n_nodes=NODES, campaign_days=DAYS)
+    base = CampaignConfig(cluster_spec=spec, duration_days=DAYS, seed=0)
+    return seed_sweep_configs(base, range(N_SEEDS))
+
+
+def test_runtime_pool_and_cache(benchmark, tmp_path_factory):
+    cache = TraceCache(root=tmp_path_factory.mktemp("trace-cache"), enabled=True)
+    configs = _sweep_configs()
+
+    t0 = time.perf_counter()
+    serial = [run_campaign(c) for c in configs]
+    serial_s = time.perf_counter() - t0
+
+    pool = CampaignPool(cache=cache)
+    t0 = time.perf_counter()
+    cold = pool.run(configs)
+    cold_s = time.perf_counter() - t0
+    cold_stats = pool.last_stats
+
+    warm = benchmark.pedantic(pool.run, args=(configs,), rounds=1, iterations=1)
+    warm_stats = pool.last_stats
+    warm_s = warm_stats.wall_time_s
+
+    rows = [
+        ("serial loop", f"{serial_s:.2f}s", "-", "-"),
+        (
+            f"pool cold ({cold_stats.workers} worker"
+            f"{'s' if cold_stats.workers != 1 else ''})",
+            f"{cold_s:.2f}s",
+            f"{cold_stats.events_per_sec:,.0f}",
+            f"{cold_stats.cache_hits}/{cold_stats.simulated}",
+        ),
+        (
+            "pool warm (cache)",
+            f"{warm_s:.3f}s",
+            f"{warm_stats.events_per_sec:,.0f}",
+            f"{warm_stats.cache_hits}/{warm_stats.simulated}",
+        ),
+    ]
+    show(
+        f"Runtime — {N_SEEDS}-seed RSC-1 sweep ({NODES} nodes x {DAYS} days) "
+        f"on {os.cpu_count()} core(s); cache "
+        f"{cache.hits} hits / {cache.misses} misses / {cache.writes} writes",
+        render_table(["path", "wall", "events/s", "hit/sim"], rows),
+    )
+
+    # Determinism: serial == pooled == cache-loaded, trace for trace.
+    serial_digests = [trace_digest(t) for t in serial]
+    assert serial_digests == [trace_digest(t) for t in cold]
+    assert serial_digests == [trace_digest(t) for t in warm]
+
+    # Cold pass simulates everything, warm pass loads everything.
+    assert cold_stats.cache_hits == 0 and cold_stats.simulated == N_SEEDS
+    assert warm_stats.cache_hits == N_SEEDS and warm_stats.simulated == 0
+
+    # Cache hits are >= 10x faster than simulating the sweep.
+    assert warm_s < cold_s / 10, (warm_s, cold_s)
+
+    # Parallel speedup only where there is parallel hardware.
+    if cold_stats.workers >= 2 and (os.cpu_count() or 1) >= 4:
+        assert cold_s <= 0.55 * serial_s, (cold_s, serial_s)
+
+
+def test_runtime_smoke_cache_hit(tmp_path):
+    """Fast regression guard (the `make bench-smoke` target): one tiny
+    campaign simulates once, then must be served from cache, identically."""
+    from repro.runtime import cached_run_campaign
+
+    cache = TraceCache(root=tmp_path, enabled=True)
+    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=8)
+    config = CampaignConfig(cluster_spec=spec, duration_days=8, seed=1)
+
+    first = cached_run_campaign(config, cache=cache)
+    assert cache.stats() == {"hits": 0, "misses": 1, "writes": 1}
+    assert first.metadata["runtime"]["source"] == "simulated"
+
+    t0 = time.perf_counter()
+    second = cached_run_campaign(config, cache=cache)
+    load_s = time.perf_counter() - t0
+    assert cache.hits == 1
+    assert second.metadata["runtime"]["source"] == "cache"
+    assert trace_digest(first) == trace_digest(second)
+    sim_s = first.metadata["runtime"]["wall_time_s"]
+    assert load_s < sim_s / 10, (load_s, sim_s)

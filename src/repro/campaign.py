@@ -11,8 +11,9 @@ would not fit, so a 128-node campaign exhibits the same *shapes* as a
 2000-node one with proportionally fewer events.
 """
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.scheduler.engine import SlurmLikeScheduler
@@ -24,6 +25,9 @@ from repro.sim.timeunits import DAY
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.profiles import WorkloadProfile, rsc1_profile, rsc2_profile
 from repro.workload.trace import NodeTraceRecord, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.scheduler.preflight import PreflightPolicy
 
 
 @dataclass
@@ -42,7 +46,7 @@ class CampaignConfig:
     reliability_aware_placement: bool = False
     #: Section V: preflight hardware batteries before large gangs start
     #: (None disables; see scheduler.preflight.PreflightPolicy).
-    preflight: Optional[object] = None
+    preflight: Optional["PreflightPolicy"] = None
     lemon_detection: bool = False
     lemon_detection_period_days: float = 7.0
     max_events: int = 50_000_000
@@ -55,6 +59,16 @@ class CampaignConfig:
                 "duration_days exceeds the cluster spec's campaign_days "
                 "(episodic regimes are placed within campaign_days)"
             )
+        if self.preflight is not None:
+            # Deferred import: campaign is the bridge between the config
+            # vocabulary and the scheduler, and must stay import-light.
+            from repro.scheduler.preflight import PreflightPolicy
+
+            if not isinstance(self.preflight, PreflightPolicy):
+                raise TypeError(
+                    "preflight must be a scheduler.preflight.PreflightPolicy "
+                    f"or None, got {type(self.preflight).__name__}"
+                )
 
     def resolve_profile(self) -> WorkloadProfile:
         if self.profile is not None:
@@ -132,6 +146,7 @@ class Campaign:
 
     def run(self) -> Trace:
         """Run the configured span and return the observable trace."""
+        t0 = time.perf_counter()
         span = self.config.duration_days * DAY
         self.scheduler.on_job_completed = self._submit_continuation
         for spec in self.generator.generate(0.0, span):
@@ -139,7 +154,19 @@ class Campaign:
         self.cluster.start()
         self.engine.run_until(span, max_events=self.config.max_events)
         self.scheduler.stop()
-        return self._build_trace(span)
+        trace = self._build_trace(span)
+        elapsed = time.perf_counter() - t0
+        executed = self.engine.executed_events
+        # Instrumentation consumed by CampaignPool/TraceCache and surfaced
+        # in BENCH output; excluded from trace_digest so a cache-loaded
+        # trace still digests equal to a freshly simulated one.
+        trace.metadata["runtime"] = {
+            "wall_time_s": elapsed,
+            "events_executed": executed,
+            "events_per_sec": executed / elapsed if elapsed > 0 else 0.0,
+            "source": "simulated",
+        }
+        return trace
 
     def _build_trace(self, span: float) -> Trace:
         lemon_by_id = {

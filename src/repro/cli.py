@@ -4,10 +4,15 @@ Subcommands::
 
     repro campaign  --cluster rsc1 --nodes 64 --days 30 --seed 42 \
                     --out trace.jsonl [--lemon-detection] [--risk-aware]
+    repro campaign  --seeds 0,1,2,3 --workers 4      # pooled multi-seed sweep
     repro analyze   --trace trace.jsonl --figure fig3
     repro analyze   --trace trace.jsonl --figure all
     repro sweep     [--gpus 100000]
     repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
+
+Campaign results are served from the content-addressed trace cache when
+the same fully-resolved config was simulated before; pass ``--no-cache``
+(or set ``REPRO_TRACE_CACHE=off``) to always re-simulate.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -15,9 +20,10 @@ Installed as the ``repro`` console script; also runnable via
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec
 from repro.sim.timeunits import HOUR, MINUTE
 from repro.workload.trace import Trace
 
@@ -71,30 +77,64 @@ def _render_figure(name: str, trace: Trace) -> str:
     raise KeyError(name)
 
 
+def _seed_out_path(out: str, seed: int, multi: bool) -> Path:
+    """Per-seed output path: ``trace.jsonl`` -> ``trace-seed3.jsonl``."""
+    path = Path(out)
+    if not multi:
+        return path
+    return path.with_name(f"{path.stem}-seed{seed}{path.suffix}")
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.runtime import CampaignPool, seed_sweep_configs
+
     if args.cluster == "rsc1":
         spec = ClusterSpec.rsc1_like(n_nodes=args.nodes, campaign_days=args.days)
     else:
         spec = ClusterSpec.rsc2_like(n_nodes=args.nodes, campaign_days=args.days)
-    config = CampaignConfig(
+    base = CampaignConfig(
         cluster_spec=spec,
         duration_days=args.days,
         seed=args.seed,
         lemon_detection=args.lemon_detection,
         reliability_aware_placement=args.risk_aware,
     )
+    if args.seeds:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+        except ValueError:
+            print(
+                f"error: --seeds expects comma-separated integers, "
+                f"got {args.seeds!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        seeds = [args.seed]
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    configs = seed_sweep_configs(base, seeds)
     print(
         f"simulating {spec.name}: {spec.n_gpus} GPUs x {args.days} days "
-        f"(seed {args.seed}) ...",
+        f"(seed{'s' if len(seeds) > 1 else ''} "
+        f"{','.join(str(s) for s in seeds)}) ...",
         file=sys.stderr,
     )
-    trace = run_campaign(config)
-    trace.save(args.out)
-    print(
-        f"wrote {args.out}: {len(trace.job_records)} attempt records, "
-        f"{len(trace.events)} events",
-        file=sys.stderr,
+    pool = CampaignPool(
+        max_workers=args.workers, cache=False if args.no_cache else None
     )
+    traces = pool.run(configs)
+    for seed, trace in zip(seeds, traces):
+        out = _seed_out_path(args.out, seed, multi=len(seeds) > 1)
+        trace.save(out)
+        source = trace.metadata.get("runtime", {}).get("source", "simulated")
+        print(
+            f"wrote {out}: {len(trace.job_records)} attempt records, "
+            f"{len(trace.events)} events ({source})",
+            file=sys.stderr,
+        )
+    print(pool.last_stats.render(), file=sys.stderr)
     return 0
 
 
@@ -182,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=64)
     p.add_argument("--days", type=float, default=30.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seeds", default=None,
+                   help="comma-separated seed sweep run through the "
+                        "campaign pool (overrides --seed); writes one "
+                        "<out>-seedN.jsonl per seed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="max worker processes for --seeds sweeps "
+                        "(default: CPU count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed trace cache")
     p.add_argument("--out", default="trace.jsonl")
     p.add_argument("--lemon-detection", action="store_true")
     p.add_argument("--risk-aware", action="store_true",

@@ -151,6 +151,21 @@ class HazardModel:
         """Total hazard rate (failures per node-day) of a node at time t."""
         return sum(self.component_rate(node_id, c, t) for c in self.base)
 
+    def total_rates(self, node_ids: Sequence[int], t: float) -> np.ndarray:
+        """Vectorized :meth:`total_rate` over many nodes at one instant.
+
+        Bit-identical to calling ``total_rate`` per node (the failure
+        injector's determinism depends on that); the win is the fleet-wide
+        fast path — with no active regime and no lemons every node shares
+        the baseline sum, so arming N nodes costs one Python sum, not
+        N * n_components.
+        """
+        if not self._lemons and not any(
+            r.start <= t < r.end for r in self.regimes
+        ):
+            return np.full(len(node_ids), self.baseline_total_rate())
+        return np.array([self.total_rate(nid, t) for nid in node_ids])
+
     def baseline_total_rate(self) -> float:
         """Fleet baseline ``r_f`` in failures per node-day (no regimes/lemons)."""
         return sum(h.rate_per_day for h in self.base.values())

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.ettr import ETTRParameters, expected_ettr, expected_ettr_simple
+from repro.core.ettr import ETTRParameters, expected_ettr
 from repro.sim.timeunits import DAY, MINUTE
 
 
@@ -101,16 +101,24 @@ def ettr_checkpoint_grid(
     if n_gpus <= 0:
         raise ValueError("n_gpus must be positive")
     n_nodes = max(1, n_gpus // gpus_per_node)
+    rates = np.asarray(failure_rates_per_node_day, dtype=float)
+    intervals = np.asarray(checkpoint_intervals, dtype=float)
+    # Same validation ETTRParameters would apply per cell.
+    if np.any(rates < 0):
+        raise ValueError("failure rate must be non-negative")
+    if np.any(intervals <= 0):
+        raise ValueError("checkpoint_interval must be positive")
+    if restart_overhead < 0:
+        raise ValueError("overheads must be non-negative")
+    # Eq. 2 broadcast over the whole (r_f, dt) surface at once; each cell
+    # is the same float arithmetic expected_ettr_simple performs.
+    lam = n_nodes * rates / DAY  # failures per second, shape (R,)
+    overhead = restart_overhead + intervals / 2  # shape (D,)
+    surface = np.maximum(0.0, 1.0 - lam[:, None] * overhead[None, :])
     grid: Dict[Tuple[float, float], float] = {}
-    for rf in failure_rates_per_node_day:
-        for dt in checkpoint_intervals:
-            params = ETTRParameters(
-                n_nodes=n_nodes,
-                failure_rate_per_node_day=rf,
-                checkpoint_interval=dt,
-                restart_overhead=restart_overhead,
-            )
-            grid[(float(rf), float(dt))] = expected_ettr_simple(params)
+    for i, rf in enumerate(rates):
+        for j, dt in enumerate(intervals):
+            grid[(float(rf), float(dt))] = float(surface[i, j])
     return grid
 
 

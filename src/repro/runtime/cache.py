@@ -1,0 +1,188 @@
+"""Content-addressed on-disk trace cache.
+
+Simulating a campaign is expensive; loading one is not.  The cache maps
+``config_digest(config)`` — a stable hash of the fully-resolved campaign
+config — to a serialized :class:`~repro.workload.trace.Trace`, so *any*
+call site (benchmarks, examples, tests, the CLI) that asks for a
+previously simulated configuration loads it instead of re-simulating.
+
+Layout: ``<root>/v<CACHE_FORMAT_VERSION>/<digest[:2]>/<digest>.pkl``.
+Each entry stores the trace as its exact ``to_dict()`` form plus the
+format/schema stamps; a stamp mismatch or unreadable file is treated as a
+miss (and the entry discarded), never as an error.
+
+Control knobs:
+
+* ``REPRO_TRACE_CACHE=off`` (or ``0``/``no``/``false``/``disabled``)
+  disables the cache process-wide.
+* ``REPRO_TRACE_CACHE=/some/dir`` relocates it.
+* ``TraceCache(enabled=False)`` / ``CampaignPool(cache=False)`` disable it
+  per call site.
+"""
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.runtime.hashing import CACHE_FORMAT_VERSION, config_digest
+from repro.workload.trace import TRACE_SCHEMA_VERSION, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign import CampaignConfig
+
+ENV_VAR = "REPRO_TRACE_CACHE"
+_DISABLE_VALUES = frozenset({"off", "0", "no", "none", "false", "disabled"})
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether the environment permits caching at all."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _DISABLE_VALUES
+
+
+def default_cache_root() -> Path:
+    """Resolve the cache directory from the environment.
+
+    ``REPRO_TRACE_CACHE`` (when set to a path) wins; otherwise
+    ``$XDG_CACHE_HOME/repro/traces`` or ``~/.cache/repro/traces``.
+    """
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env and env.lower() not in _DISABLE_VALUES:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+class TraceCache:
+    """Content-addressed trace store with hit/miss accounting."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        enabled: Optional[bool] = None,
+    ):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.enabled = cache_enabled_by_env() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def path_for(self, config: "CampaignConfig") -> Path:
+        digest = config_digest(config)
+        return self._entry_path(digest)
+
+    def _entry_path(self, digest: str) -> Path:
+        return (
+            self.root
+            / f"v{CACHE_FORMAT_VERSION}"
+            / digest[:2]
+            / f"{digest}.pkl"
+        )
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, config: "CampaignConfig") -> Optional[Trace]:
+        """Return the cached trace for ``config``, or None on a miss."""
+        if not self.enabled:
+            return None
+        digest = config_digest(config)
+        path = self._entry_path(digest)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            if (
+                entry.get("cache_format") != CACHE_FORMAT_VERSION
+                or entry.get("trace_schema") != TRACE_SCHEMA_VERSION
+                or entry.get("digest") != digest
+            ):
+                raise ValueError("stale or mismatched cache entry")
+            trace = Trace.from_dict(entry["trace"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt or stale entry: drop it and treat as a miss.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        runtime = dict(trace.metadata.get("runtime", {}))
+        runtime["source"] = "cache"
+        trace.metadata["runtime"] = runtime
+        return trace
+
+    def put(self, config: "CampaignConfig", trace: Trace) -> Optional[Path]:
+        """Store ``trace`` under ``config``'s digest (atomic replace)."""
+        if not self.enabled:
+            return None
+        digest = config_digest(config)
+        path = self._entry_path(digest)
+        entry: Dict[str, Any] = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "digest": digest,
+            "trace": trace.to_dict(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"TraceCache({self.root}, {state}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def cached_run_campaign(
+    config: "CampaignConfig", cache: Optional[TraceCache] = None
+) -> Trace:
+    """Drop-in for :func:`repro.run_campaign` that consults the cache.
+
+    With the default cache (honoring ``REPRO_TRACE_CACHE``), the first
+    call for a given fully-resolved config simulates and stores; every
+    later call — from any process — loads.
+    """
+    from repro.campaign import run_campaign
+
+    if cache is None:
+        cache = TraceCache()
+    trace = cache.get(config)
+    if trace is not None:
+        return trace
+    trace = run_campaign(config)
+    cache.put(config, trace)
+    return trace

@@ -27,10 +27,17 @@ class ScheduledEvent:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Owning engine; lets ``cancel`` keep the live-event counter exact
+    #: without a heap scan.  Compare-excluded so ordering stays (time, seq).
+    _owner: Optional["Engine"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._live -= 1
 
 
 class Engine:
@@ -41,6 +48,7 @@ class Engine:
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._executed = 0
+        self._live = 0  # non-cancelled events on the heap, kept exact
         self._running = False
         self._stopped = False
 
@@ -56,8 +64,13 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of non-cancelled events still on the heap.
+
+        O(1): a live counter maintained on push/pop/cancel replaces the
+        previous full-heap scan (this property sits on logging/monitoring
+        hot paths).
+        """
+        return self._live
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], label: str = ""
@@ -72,9 +85,14 @@ class Engine:
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
         event = ScheduledEvent(
-            time=float(time), seq=next(self._seq), callback=callback, label=label
+            time=float(time),
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+            _owner=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_after(
@@ -107,7 +125,8 @@ class Engine:
                     break
                 heapq.heappop(self._heap)
                 if event.cancelled:
-                    continue
+                    continue  # counter already decremented at cancel time
+                self._live -= 1
                 if self._executed >= budget:
                     raise RuntimeError(
                         f"exceeded max_events={max_events}; "

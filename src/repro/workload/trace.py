@@ -13,11 +13,16 @@ many times.
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.jobtypes import JobAttemptRecord, JobState
 from repro.sim.events import EventLog, EventRecord
 from repro.jobtypes import QosTier
+
+#: Bump whenever the serialized shape of a trace changes.  The runtime
+#: trace cache stores this stamp and treats any mismatch as a miss, so a
+#: schema change can never resurface stale campaign results.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -108,40 +113,93 @@ class Trace:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
+    def _header_row(self) -> Dict[str, Any]:
+        return {
+            "cluster_name": self.cluster_name,
+            "n_nodes": self.n_nodes,
+            "n_gpus": self.n_gpus,
+            "start": self.start,
+            "end": self.end,
+            "metadata": self.metadata,
+        }
+
+    @staticmethod
+    def _job_row(rec: JobAttemptRecord) -> Dict[str, Any]:
+        row = asdict(rec)
+        row["state"] = rec.state.value
+        row["qos"] = int(rec.qos)
+        row["node_ids"] = list(rec.node_ids)
+        return row
+
+    @staticmethod
+    def _job_from_row(row: Dict[str, Any]) -> JobAttemptRecord:
+        row = dict(row)
+        row["state"] = JobState(row["state"])
+        row["qos"] = QosTier(row["qos"])
+        row["node_ids"] = tuple(row["node_ids"])
+        return JobAttemptRecord(**row)
+
+    @staticmethod
+    def _event_row(event: EventRecord) -> Dict[str, Any]:
+        return {
+            "time": event.time,
+            "kind": event.kind,
+            "subject": event.subject,
+            "data": event.data,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact, JSON-compatible representation (see ``from_dict``).
+
+        The round trip ``Trace.from_dict(trace.to_dict())`` reproduces the
+        trace bit-for-bit — the runtime trace cache and the determinism
+        tests rely on this being lossless.
+        """
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "header": self._header_row(),
+            "jobs": [self._job_row(rec) for rec in self.job_records],
+            "nodes": [asdict(node) for node in self.node_records],
+            "events": [self._event_row(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Trace":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        schema = payload.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema {schema!r} does not match "
+                f"TRACE_SCHEMA_VERSION={TRACE_SCHEMA_VERSION}"
+            )
+        header = payload["header"]
+        return cls(
+            cluster_name=header["cluster_name"],
+            n_nodes=header["n_nodes"],
+            n_gpus=header["n_gpus"],
+            start=header["start"],
+            end=header["end"],
+            job_records=[cls._job_from_row(row) for row in payload["jobs"]],
+            node_records=[NodeTraceRecord(**row) for row in payload["nodes"]],
+            events=[EventRecord(**row) for row in payload["events"]],
+            metadata=header.get("metadata", {}),
+        )
+
     def save(self, path) -> None:
         """Write the trace as JSONL: header, jobs, nodes, events."""
         path = Path(path)
+
+        def line(kind: str, row: Dict[str, Any]) -> str:
+            return json.dumps({"type": kind, **row}) + "\n"
+
         with path.open("w") as fh:
-            header = {
-                "type": "header",
-                "cluster_name": self.cluster_name,
-                "n_nodes": self.n_nodes,
-                "n_gpus": self.n_gpus,
-                "start": self.start,
-                "end": self.end,
-                "metadata": self.metadata,
-            }
-            fh.write(json.dumps(header) + "\n")
+            fh.write(line("header", self._header_row()))
             for rec in self.job_records:
-                row = asdict(rec)
-                row["type"] = "job"
-                row["state"] = rec.state.value
-                row["qos"] = int(rec.qos)
-                row["node_ids"] = list(rec.node_ids)
-                fh.write(json.dumps(row) + "\n")
+                fh.write(line("job", self._job_row(rec)))
             for node in self.node_records:
-                row = asdict(node)
-                row["type"] = "node"
-                fh.write(json.dumps(row) + "\n")
+                fh.write(line("node", asdict(node)))
             for event in self.events:
-                row = {
-                    "type": "event",
-                    "time": event.time,
-                    "kind": event.kind,
-                    "subject": event.subject,
-                    "data": event.data,
-                }
-                fh.write(json.dumps(row) + "\n")
+                fh.write(line("event", self._event_row(event)))
 
     @classmethod
     def load(cls, path) -> "Trace":
@@ -157,21 +215,11 @@ class Trace:
                 if kind == "header":
                     header = row
                 elif kind == "job":
-                    row["state"] = JobState(row["state"])
-                    row["qos"] = QosTier(row["qos"])
-                    row["node_ids"] = tuple(row["node_ids"])
-                    jobs.append(JobAttemptRecord(**row))
+                    jobs.append(cls._job_from_row(row))
                 elif kind == "node":
                     nodes.append(NodeTraceRecord(**row))
                 elif kind == "event":
-                    events.append(
-                        EventRecord(
-                            time=row["time"],
-                            kind=row["kind"],
-                            subject=row["subject"],
-                            data=row["data"],
-                        )
-                    )
+                    events.append(EventRecord(**row))
                 else:
                     raise ValueError(f"unknown trace row type {kind!r}")
         if header is None:

@@ -1,0 +1,105 @@
+"""TraceCache mechanics: hit/miss accounting, stamps, and kill switches."""
+
+import pickle
+
+import pytest
+
+from repro import CampaignConfig, ClusterSpec
+from repro.runtime import (
+    CACHE_FORMAT_VERSION,
+    ENV_VAR,
+    TraceCache,
+    cache_enabled_by_env,
+    config_digest,
+    default_cache_root,
+    trace_digest,
+)
+from repro.workload.trace import Trace
+
+
+@pytest.fixture()
+def config():
+    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=8)
+    return CampaignConfig(cluster_spec=spec, duration_days=8, seed=3)
+
+
+@pytest.fixture()
+def trace():
+    return Trace(
+        cluster_name="RSC-1-like",
+        n_nodes=16,
+        n_gpus=128,
+        start=0.0,
+        end=1000.0,
+        metadata={"seed": 3},
+    )
+
+
+def test_put_get_roundtrip(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True)
+    assert cache.get(config) is None
+    path = cache.put(config, trace)
+    assert path is not None and path.exists()
+    assert path == cache.path_for(config)
+
+    loaded = cache.get(config)
+    assert loaded is not None
+    assert trace_digest(loaded) == trace_digest(trace)
+    assert loaded.metadata["runtime"]["source"] == "cache"
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+
+def test_entries_are_sharded_under_versioned_root(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True)
+    path = cache.put(config, trace)
+    digest = config_digest(config)
+    assert path.name == f"{digest}.pkl"
+    assert path.parent.name == digest[:2]
+    assert path.parent.parent.name == f"v{CACHE_FORMAT_VERSION}"
+
+
+def test_corrupt_entry_is_a_miss_and_discarded(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True)
+    path = cache.put(config, trace)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(config) is None
+    assert not path.exists()  # dropped, not left to fail forever
+    assert cache.misses == 1
+
+
+def test_stamp_mismatch_invalidates(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True)
+    path = cache.put(config, trace)
+    entry = pickle.loads(path.read_bytes())
+    entry["cache_format"] = CACHE_FORMAT_VERSION + 1
+    path.write_bytes(pickle.dumps(entry))
+    assert cache.get(config) is None
+    assert not path.exists()
+
+
+def test_disabled_cache_never_touches_disk(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=False)
+    assert cache.put(config, trace) is None
+    assert cache.get(config) is None
+    assert list(tmp_path.iterdir()) == []
+    assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
+
+
+@pytest.mark.parametrize("value", ["off", "0", "no", "FALSE", "Disabled"])
+def test_env_var_disables(monkeypatch, value):
+    monkeypatch.setenv(ENV_VAR, value)
+    assert not cache_enabled_by_env()
+    assert not TraceCache().enabled
+
+
+def test_env_var_relocates(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "elsewhere"))
+    assert cache_enabled_by_env()
+    assert default_cache_root() == tmp_path / "elsewhere"
+    assert TraceCache().root == tmp_path / "elsewhere"
+
+
+def test_default_root_under_xdg_cache(monkeypatch, tmp_path):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+    assert default_cache_root() == tmp_path / "repro" / "traces"

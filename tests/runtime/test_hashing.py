@@ -1,0 +1,112 @@
+"""Canonicalization and content-digest behavior (the cache's foundation)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import CampaignConfig, ClusterSpec
+from repro.core.taxonomy import FailureDomain
+from repro.runtime import canonicalize, config_digest, trace_digest
+from repro.workload.trace import Trace
+
+
+def make_config(**overrides):
+    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=8)
+    base = dict(cluster_spec=spec, duration_days=8, seed=3)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def make_trace(**metadata):
+    return Trace(
+        cluster_name="x",
+        n_nodes=2,
+        n_gpus=16,
+        start=0.0,
+        end=100.0,
+        metadata={"seed": 1, **metadata},
+    )
+
+
+# ----------------------------------------------------------------------
+# canonicalize
+# ----------------------------------------------------------------------
+def test_canonicalize_dict_order_independent():
+    a = canonicalize({"b": 1, "a": 2})
+    b = canonicalize({"a": 2, "b": 1})
+    assert a == b
+
+
+def test_canonicalize_set_order_independent():
+    assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+    assert canonicalize(frozenset({"x", "y"})) == canonicalize({"y", "x"})
+
+
+def test_canonicalize_enum_tagged_by_type_and_name():
+    out = canonicalize(FailureDomain.HARDWARE_INFRA)
+    assert out == ["FailureDomain", "HARDWARE_INFRA"]
+
+
+def test_canonicalize_numpy_scalars_and_arrays():
+    assert canonicalize(np.int64(7)) == 7
+    assert canonicalize(np.float64(0.5)) == 0.5
+    assert canonicalize(np.array([1, 2])) == [1, 2]
+
+
+def test_canonicalize_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        canonicalize(object())
+
+
+# ----------------------------------------------------------------------
+# config_digest
+# ----------------------------------------------------------------------
+def test_config_digest_stable_across_rebuilds():
+    d1 = config_digest(make_config())
+    d2 = config_digest(make_config())
+    assert d1 == d2
+    assert len(d1) == 64 and int(d1, 16) >= 0  # sha256 hex
+
+
+def test_config_digest_sensitive_to_every_knob():
+    base = make_config()
+    variants = [
+        make_config(seed=4),
+        make_config(duration_days=7),
+        make_config(target_utilization=0.5),
+        make_config(lemon_detection=True),
+        make_config(reliability_aware_placement=True),
+        CampaignConfig(
+            cluster_spec=ClusterSpec.rsc1_like(n_nodes=17, campaign_days=8),
+            duration_days=8,
+            seed=3,
+        ),
+    ]
+    digests = {config_digest(c) for c in variants}
+    assert config_digest(base) not in digests
+    assert len(digests) == len(variants)
+
+
+def test_config_digest_resolves_default_profile():
+    """`profile=None` and an explicit default profile hit the same entry."""
+    implicit = make_config()
+    explicit = replace(implicit, profile=implicit.resolve_profile())
+    assert config_digest(implicit) == config_digest(explicit)
+
+
+# ----------------------------------------------------------------------
+# trace_digest
+# ----------------------------------------------------------------------
+def test_trace_digest_ignores_runtime_instrumentation():
+    plain = make_trace()
+    instrumented = make_trace()
+    instrumented.metadata["runtime"] = {
+        "wall_time_s": 1.23,
+        "source": "cache",
+    }
+    assert trace_digest(plain) == trace_digest(instrumented)
+
+
+def test_trace_digest_sees_real_content():
+    assert trace_digest(make_trace()) != trace_digest(make_trace(seed=2))

@@ -128,3 +128,41 @@ def test_reentrant_run_raises():
     engine.schedule_at(1.0, reenter)
     with pytest.raises(RuntimeError, match="reentrant"):
         engine.run_until(5.0)
+
+
+def test_pending_events_counts_live_events():
+    engine = Engine()
+    events = [engine.schedule_at(float(i), lambda: None) for i in range(4)]
+    assert engine.pending_events == 4
+    events[1].cancel()
+    assert engine.pending_events == 3  # O(1) live counter, not a heap scan
+    events[1].cancel()  # double-cancel must not decrement twice
+    assert engine.pending_events == 3
+
+
+def test_pending_events_during_and_after_run():
+    engine = Engine()
+    seen = []
+
+    def probe():
+        seen.append(engine.pending_events)
+
+    for i in range(3):
+        engine.schedule_at(float(i + 1), probe)
+    engine.run_until(10.0)
+    # Each callback runs after its own event left the pending set.
+    assert seen == [2, 1, 0]
+    assert engine.pending_events == 0
+
+
+def test_pending_events_with_cancellations_across_run():
+    engine = Engine()
+    fired = []
+    keep = engine.schedule_at(5.0, lambda: fired.append("keep"))
+    drop = engine.schedule_at(1.0, lambda: fired.append("drop"))
+    drop.cancel()
+    assert engine.pending_events == 1
+    engine.run_until(10.0)
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+    assert engine.pending_events == 0

@@ -118,3 +118,43 @@ def test_events_log_rebuild(trace):
     log = trace.events_log()
     assert len(log) == 2
     assert log.filter(kind="cluster.incident")
+
+
+def test_to_dict_from_dict_exact_roundtrip(trace):
+    from repro.workload.trace import TRACE_SCHEMA_VERSION
+
+    payload = trace.to_dict()
+    assert payload["schema"] == TRACE_SCHEMA_VERSION
+    rebuilt = Trace.from_dict(payload)
+    # Exact equality, field for field — this is what lets the trace cache
+    # hand back a stored campaign as if it had just been simulated.
+    assert rebuilt.cluster_name == trace.cluster_name
+    assert rebuilt.n_nodes == trace.n_nodes
+    assert rebuilt.n_gpus == trace.n_gpus
+    assert rebuilt.start == trace.start
+    assert rebuilt.end == trace.end
+    assert rebuilt.metadata == trace.metadata
+    assert rebuilt.job_records == trace.job_records
+    assert rebuilt.node_records == trace.node_records
+    assert rebuilt.events == trace.events
+    # And the round trip is a fixed point: dict -> Trace -> dict is stable.
+    assert rebuilt.to_dict() == payload
+
+
+def test_from_dict_rejects_schema_mismatch(trace):
+    from repro.workload.trace import TRACE_SCHEMA_VERSION
+
+    payload = trace.to_dict()
+    payload["schema"] = TRACE_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        Trace.from_dict(payload)
+
+
+def test_roundtrip_preserves_typed_fields(trace):
+    rebuilt = Trace.from_dict(trace.to_dict())
+    record = rebuilt.job_records[0]
+    assert isinstance(record.state, JobState)
+    assert isinstance(record.qos, QosTier)
+    assert isinstance(record.node_ids, tuple)
+    assert isinstance(rebuilt.events[0], EventRecord)
+    assert rebuilt.node_record(1).is_lemon_truth
