@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke obs-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -15,3 +15,11 @@ bench:
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "runtime_smoke" --benchmark-disable -s
+
+# Observability smoke: runs one tiny instrumented campaign, checks that
+# every telemetry line parses (monotone sim-time per category), that the
+# metrics snapshot round-trips, and that wired-but-disabled telemetry
+# stays inside the events/sec regression budget on the engine hot loop.
+obs-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "obs_smoke" --benchmark-disable -s

@@ -1,0 +1,101 @@
+"""Observability subsystem: stream integrity + disabled-path overhead.
+
+The acceptance experiment for ``repro.obs`` (the `make obs-smoke` target):
+
+* a tiny instrumented campaign writes the on-disk telemetry pair; every
+  JSONL line must parse, sim-time must be monotone per category, the
+  stream length must match the tracer's own count, and the metrics
+  snapshot must load with the expected phase timers in it;
+* the engine's untraced hot path must not pay for the instrumentation:
+  a no-op event microbench with ``telemetry=None`` vs a wired-but-
+  disabled :class:`Telemetry` bundle stays within a small events/sec
+  regression budget.
+"""
+
+import time
+
+from conftest import show
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.obs import Telemetry, check_stream_well_formed, load_snapshot, summarize
+from repro.obs.telemetry import EVENTS_SUFFIX, METRICS_SUFFIX
+from repro.sim.engine import Engine
+
+N_EVENTS = 100_000
+BEST_OF = 5
+#: Disabled-telemetry slowdown budget on the no-op microbench.  The real
+#: budget is ~5%; the margin absorbs timer noise on loaded CI boxes.
+OVERHEAD_BUDGET = 1.25
+
+
+def test_obs_smoke_stream_integrity(tmp_path):
+    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=5)
+    config = CampaignConfig(cluster_spec=spec, duration_days=5, seed=17)
+    telemetry = Telemetry.to_directory(tmp_path, stem="smoke")
+    trace = run_campaign(config, telemetry=telemetry)
+    emitted = telemetry.tracer.events_emitted
+    telemetry.finalize()
+
+    stream = tmp_path / f"smoke{EVENTS_SUFFIX}"
+    metrics_path = tmp_path / f"smoke{METRICS_SUFFIX}"
+    assert stream.is_file() and metrics_path.is_file()
+
+    # Strict pass over every line: parseable, finite + monotone sim-time.
+    n_records = check_stream_well_formed(stream)
+    assert n_records == emitted
+    assert n_records > 100
+
+    snapshot = load_snapshot(metrics_path)
+    phases = {
+        h["labels"].get("phase")
+        for h in snapshot["histograms"]
+        if h["name"] == "campaign_phase_seconds"
+    }
+    assert {"generate", "simulate", "build_trace"} <= phases
+    executed = sum(
+        int(c["value"])
+        for c in snapshot["counters"]
+        if c["name"] == "sim_events_executed_total"
+    )
+    assert executed == trace.metadata["runtime"]["events_executed"]
+
+    summary = summarize(tmp_path)
+    show(
+        f"Obs smoke — {n_records:,} telemetry records, "
+        f"{len(snapshot['counters'])} counters, "
+        f"{len(snapshot['histograms'])} histograms",
+        summary.render(top_labels=5),
+    )
+
+
+def _drive(telemetry) -> float:
+    """Best-of-N wall time for ``N_EVENTS`` no-op events."""
+    best = float("inf")
+    for _ in range(BEST_OF):
+        engine = Engine(telemetry=telemetry)
+        callback = lambda: None  # noqa: E731 - intentional no-op
+        for i in range(N_EVENTS):
+            engine.schedule_at(float(i), callback, label="noop:1")
+        t0 = time.perf_counter()
+        engine.run_until(float(N_EVENTS))
+        best = min(best, time.perf_counter() - t0)
+        assert engine.executed_events == N_EVENTS
+    return best
+
+
+def test_obs_smoke_disabled_overhead():
+    none_s = _drive(None)
+    disabled_bundle = Telemetry.disabled()
+    disabled_s = _drive(disabled_bundle)
+    assert disabled_bundle.tracer.events_emitted == 0
+
+    show(
+        f"Obs smoke — disabled-telemetry overhead "
+        f"({N_EVENTS:,} no-op events, best of {BEST_OF})",
+        f"telemetry=None:        {none_s * 1e3:8.2f} ms "
+        f"({N_EVENTS / none_s:,.0f} events/s)\n"
+        f"Telemetry.disabled():  {disabled_s * 1e3:8.2f} ms "
+        f"({N_EVENTS / disabled_s:,.0f} events/s)\n"
+        f"ratio: {disabled_s / none_s:.3f} (budget {OVERHEAD_BUDGET})",
+    )
+    assert disabled_s <= none_s * OVERHEAD_BUDGET, (disabled_s, none_s)

@@ -47,6 +47,13 @@ def test_runtime_pool_and_cache(benchmark, tmp_path_factory):
     cold_s = time.perf_counter() - t0
     cold_stats = pool.last_stats
 
+    # Per-seed wall-time distribution, straight from the pool's metrics
+    # registry (every simulated campaign observes into this histogram).
+    per_seed = pool.metrics.histogram("campaign_wall_seconds")
+    assert per_seed.count == N_SEEDS
+    seed_p50 = per_seed.percentile(50)
+    seed_p95 = per_seed.percentile(95)
+
     warm = benchmark.pedantic(pool.run, args=(configs,), rounds=1, iterations=1)
     warm_stats = pool.last_stats
     warm_s = warm_stats.wall_time_s
@@ -71,7 +78,11 @@ def test_runtime_pool_and_cache(benchmark, tmp_path_factory):
         f"Runtime — {N_SEEDS}-seed RSC-1 sweep ({NODES} nodes x {DAYS} days) "
         f"on {os.cpu_count()} core(s); cache "
         f"{cache.hits} hits / {cache.misses} misses / {cache.writes} writes",
-        render_table(["path", "wall", "events/s", "hit/sim"], rows),
+        render_table(["path", "wall", "events/s", "hit/sim"], rows)
+        + f"\n\nper-seed simulate wall time: p50 {seed_p50:.2f}s, "
+        f"p95 {seed_p95:.2f}s "
+        f"(min {per_seed.min:.2f}s, max {per_seed.max:.2f}s, "
+        f"n={per_seed.count})",
     )
 
     # Determinism: serial == pooled == cache-loaded, trace for trace.

@@ -12,6 +12,7 @@ would not fit, so a 128-node campaign exhibits the same *shapes* as a
 """
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
@@ -27,6 +28,7 @@ from repro.workload.profiles import WorkloadProfile, rsc1_profile, rsc2_profile
 from repro.workload.trace import NodeTraceRecord, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
     from repro.scheduler.preflight import PreflightPolicy
 
 
@@ -78,16 +80,35 @@ class CampaignConfig:
         return rsc1_profile()
 
 
+def _phase_timer(telemetry: Optional["Telemetry"], observing: bool, phase: str):
+    """Per-phase profiling timer; a no-op context when telemetry is off."""
+    if not observing:
+        return nullcontext()
+    return telemetry.metrics.timer("campaign_phase_seconds", phase=phase)
+
+
 class Campaign:
     """Owns the live objects of one campaign and runs it to a trace."""
 
-    def __init__(self, config: CampaignConfig):
+    def __init__(
+        self,
+        config: CampaignConfig,
+        telemetry: Optional["Telemetry"] = None,
+    ):
         self.config = config
-        self.engine = Engine()
+        #: Observability bundle (repro.obs.Telemetry).  Deliberately NOT a
+        #: CampaignConfig field: telemetry must never influence the cache
+        #: key or the simulated trace — it only observes.
+        self.telemetry = telemetry
+        self.engine = Engine(telemetry=telemetry)
         self.rngs = RngStreams(config.seed)
         self.event_log = EventLog()
         self.cluster = Cluster(
-            config.cluster_spec, self.engine, self.rngs, event_log=self.event_log
+            config.cluster_spec,
+            self.engine,
+            self.rngs,
+            event_log=self.event_log,
+            telemetry=telemetry,
         )
         placement = None
         if config.reliability_aware_placement:
@@ -102,6 +123,7 @@ class Campaign:
             quotas=QuotaManager(config.quotas),
             preflight=config.preflight,
             event_log=self.event_log,
+            telemetry=telemetry,
         )
         self.generator = WorkloadGenerator(
             config.resolve_profile(),
@@ -127,6 +149,8 @@ class Campaign:
 
     def _lemon_sweep(self) -> None:
         flagged = self._detector.detect_live(self.cluster.nodes.values())
+        telemetry = self.telemetry
+        observing = telemetry is not None and telemetry.enabled
         for node in flagged:
             if not node.quarantined:
                 node.quarantined = True
@@ -137,6 +161,19 @@ class Campaign:
                     node.name,
                     node_id=node.node_id,
                 )
+                if observing:
+                    telemetry.tracer.emit(
+                        "lemon.flagged",
+                        node.name,
+                        self.engine.now,
+                        node_id=node.node_id,
+                        votes=self._detector.policy.votes(
+                            lambda name: node.counters.as_dict()[name]
+                        ),
+                    )
+                    telemetry.metrics.counter(
+                        "lemon_nodes_flagged_total"
+                    ).inc()
 
     def _submit_continuation(self, job, record) -> None:
         """Chain the next segment of a long training run (same jobrun)."""
@@ -148,13 +185,28 @@ class Campaign:
         """Run the configured span and return the observable trace."""
         t0 = time.perf_counter()
         span = self.config.duration_days * DAY
+        telemetry = self.telemetry
+        observing = telemetry is not None and telemetry.enabled
+        if observing:
+            telemetry.tracer.emit(
+                "campaign.begin",
+                self.config.cluster_spec.name,
+                0.0,
+                seed=self.config.seed,
+                n_nodes=self.config.cluster_spec.n_nodes,
+                duration_days=self.config.duration_days,
+            )
         self.scheduler.on_job_completed = self._submit_continuation
-        for spec in self.generator.generate(0.0, span):
-            self.scheduler.submit(spec)  # eligibility deferred to submit_time
-        self.cluster.start()
-        self.engine.run_until(span, max_events=self.config.max_events)
-        self.scheduler.stop()
-        trace = self._build_trace(span)
+        with _phase_timer(telemetry, observing, "generate"):
+            for spec in self.generator.generate(0.0, span):
+                # Eligibility is deferred to each spec's submit_time.
+                self.scheduler.submit(spec)
+        with _phase_timer(telemetry, observing, "simulate"):
+            self.cluster.start()
+            self.engine.run_until(span, max_events=self.config.max_events)
+            self.scheduler.stop()
+        with _phase_timer(telemetry, observing, "build_trace"):
+            trace = self._build_trace(span)
         elapsed = time.perf_counter() - t0
         executed = self.engine.executed_events
         # Instrumentation consumed by CampaignPool/TraceCache and surfaced
@@ -166,6 +218,22 @@ class Campaign:
             "events_per_sec": executed / elapsed if elapsed > 0 else 0.0,
             "source": "simulated",
         }
+        if observing:
+            telemetry.tracer.emit(
+                "campaign.end",
+                self.config.cluster_spec.name,
+                span,
+                seed=self.config.seed,
+                events_executed=executed,
+                wall_time_s=elapsed,
+            )
+            telemetry.metrics.counter("campaigns_run_total").inc()
+            telemetry.metrics.counter("engine_events_executed_total").inc(
+                executed
+            )
+            telemetry.metrics.histogram("campaign_wall_seconds").observe(
+                elapsed
+            )
         return trace
 
     def _build_trace(self, span: float) -> Trace:
@@ -218,6 +286,12 @@ class Campaign:
         )
 
 
-def run_campaign(config: CampaignConfig) -> Trace:
-    """One-call convenience: build and run a campaign."""
-    return Campaign(config).run()
+def run_campaign(
+    config: CampaignConfig, telemetry: Optional["Telemetry"] = None
+) -> Trace:
+    """One-call convenience: build and run a campaign.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) attaches the tracing/
+    metrics layer for this run only; it never changes the simulated trace.
+    """
+    return Campaign(config, telemetry=telemetry).run()

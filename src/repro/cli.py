@@ -5,8 +5,10 @@ Subcommands::
     repro campaign  --cluster rsc1 --nodes 64 --days 30 --seed 42 \
                     --out trace.jsonl [--lemon-detection] [--risk-aware]
     repro campaign  --seeds 0,1,2,3 --workers 4      # pooled multi-seed sweep
+    repro campaign  --telemetry out/ ...             # + obs streams per trace
     repro analyze   --trace trace.jsonl --figure fig3
     repro analyze   --trace trace.jsonl --figure all
+    repro obs summary out/                           # telemetry run report
     repro sweep     [--gpus 100000]
     repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
 
@@ -14,11 +16,16 @@ Campaign results are served from the content-addressed trace cache when
 the same fully-resolved config was simulated before; pass ``--no-cache``
 (or set ``REPRO_TRACE_CACHE=off``) to always re-simulate.
 
+stdout carries machine-readable results only (figures, tables, reports);
+diagnostics go through the ``repro.cli`` logger to stderr.  ``--verbose``
+and ``-q/--quiet`` raise/lower the log level.
+
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
 """
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -26,6 +33,8 @@ from typing import List, Optional
 from repro import CampaignConfig, ClusterSpec
 from repro.sim.timeunits import HOUR, MINUTE
 from repro.workload.trace import Trace
+
+logger = logging.getLogger("repro.cli")
 
 #: figure name -> callable(trace) returning a renderable result
 _FIGURES = {
@@ -85,6 +94,55 @@ def _seed_out_path(out: str, seed: int, multi: bool) -> Path:
     return path.with_name(f"{path.stem}-seed{seed}{path.suffix}")
 
 
+def _run_campaigns_with_telemetry(args, configs, seeds) -> int:
+    """The ``--telemetry DIR`` path: instrumented, inline execution.
+
+    Each seed gets its own ``<stem>.events.jsonl`` + ``<stem>.metrics.json``
+    pair next to its trace output name, so ``repro obs summary DIR``
+    can aggregate the run.  Worker processes cannot stream telemetry back,
+    so this path always simulates in-process.
+    """
+    from repro.campaign import run_campaign
+    from repro.obs import Telemetry
+    from repro.runtime import TraceCache
+
+    telemetry_dir = Path(args.telemetry)
+    telemetry_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else TraceCache()
+    multi = len(seeds) > 1
+    for seed, config in zip(seeds, configs):
+        out = _seed_out_path(args.out, seed, multi=multi)
+        telemetry = Telemetry.to_directory(telemetry_dir, stem=out.stem)
+        if cache is not None:
+            # Route this seed's cache traffic into this seed's stream.
+            cache.telemetry = telemetry
+        try:
+            trace = cache.get(config) if cache is not None else None
+            if trace is None:
+                trace = run_campaign(config, telemetry=telemetry)
+                if cache is not None:
+                    cache.put(config, trace)
+        finally:
+            telemetry.finalize()
+        trace.save(out)
+        runtime = trace.metadata.get("runtime", {})
+        logger.info(
+            "wrote %s: %d attempt records, %d events (%s); telemetry: %s",
+            out,
+            len(trace.job_records),
+            len(trace.events),
+            runtime.get("source", "simulated"),
+            telemetry.tracer.sink.path,
+        )
+    logger.info(
+        "telemetry streams + metrics snapshots in %s "
+        "(render with: repro obs summary %s)",
+        telemetry_dir,
+        telemetry_dir,
+    )
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runtime import CampaignPool, seed_sweep_configs
 
@@ -103,24 +161,26 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         try:
             seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
         except ValueError:
-            print(
-                f"error: --seeds expects comma-separated integers, "
-                f"got {args.seeds!r}",
-                file=sys.stderr,
+            logger.error(
+                "--seeds expects comma-separated integers, got %r", args.seeds
             )
             return 2
     else:
         seeds = [args.seed]
     if args.workers is not None and args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
+        logger.error("--workers must be >= 1")
         return 2
     configs = seed_sweep_configs(base, seeds)
-    print(
-        f"simulating {spec.name}: {spec.n_gpus} GPUs x {args.days} days "
-        f"(seed{'s' if len(seeds) > 1 else ''} "
-        f"{','.join(str(s) for s in seeds)}) ...",
-        file=sys.stderr,
+    logger.info(
+        "simulating %s: %d GPUs x %s days (seed%s %s) ...",
+        spec.name,
+        spec.n_gpus,
+        args.days,
+        "s" if len(seeds) > 1 else "",
+        ",".join(str(s) for s in seeds),
     )
+    if args.telemetry:
+        return _run_campaigns_with_telemetry(args, configs, seeds)
     pool = CampaignPool(
         max_workers=args.workers, cache=False if args.no_cache else None
     )
@@ -129,12 +189,29 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         out = _seed_out_path(args.out, seed, multi=len(seeds) > 1)
         trace.save(out)
         source = trace.metadata.get("runtime", {}).get("source", "simulated")
-        print(
-            f"wrote {out}: {len(trace.job_records)} attempt records, "
-            f"{len(trace.events)} events ({source})",
-            file=sys.stderr,
+        logger.info(
+            "wrote %s: %d attempt records, %d events (%s)",
+            out,
+            len(trace.job_records),
+            len(trace.events),
+            source,
         )
-    print(pool.last_stats.render(), file=sys.stderr)
+    logger.info("%s", pool.last_stats.render())
+    return 0
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs import summarize
+
+    try:
+        summary = summarize(args.path)
+    except FileNotFoundError as err:
+        logger.error("%s", err)
+        return 1
+    except ValueError as err:
+        logger.error("malformed telemetry: %s", err)
+        return 1
+    print(summary.render(top_labels=args.top))
     return 0
 
 
@@ -215,6 +292,15 @@ def build_parser() -> argparse.ArgumentParser:
             "Large-Scale ML Research Clusters' (HPCA 2025)"
         ),
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="errors only on stderr (stdout results are unaffected)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("campaign", help="simulate a cluster campaign")
@@ -232,10 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed trace cache")
     p.add_argument("--out", default="trace.jsonl")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write structured telemetry (a .events.jsonl stream "
+                        "and a .metrics.json snapshot per trace) into DIR; "
+                        "inspect with `repro obs summary DIR`")
     p.add_argument("--lemon-detection", action="store_true")
     p.add_argument("--risk-aware", action="store_true",
                    help="reliability-aware gang placement")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("obs", help="inspect emitted telemetry")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "summary", help="run report from telemetry streams + metrics"
+    )
+    p.add_argument("path",
+                   help="telemetry directory (or a single .events.jsonl)")
+    p.add_argument("--top", type=int, default=10,
+                   help="event-label rows in the timing table")
+    p.set_defaults(func=cmd_obs_summary)
 
     p = sub.add_parser("analyze", help="render figures from a saved trace")
     p.add_argument("--trace", required=True)
@@ -267,9 +368,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Point the ``repro`` logger at stderr at the requested level.
+
+    Handlers are only attached once (re-entrant ``main`` calls, tests);
+    the level and the target stream are re-applied every invocation so
+    flags always win and redirected ``sys.stderr`` (tests, pipelines) is
+    honoured.
+    """
+    root = logging.getLogger("repro")
+    handler = next(
+        (h for h in root.handlers if isinstance(h, logging.StreamHandler)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+    else:
+        # Direct assignment, not setStream(): the old stream may already
+        # be closed (e.g. a previous test's capture buffer) and setStream
+        # would try to flush it.
+        handler.stream = sys.stderr
+    if getattr(args, "verbose", False):
+        root.setLevel(logging.DEBUG)
+    elif getattr(args, "quiet", False):
+        root.setLevel(logging.ERROR)
+    else:
+        root.setLevel(logging.INFO)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     return args.func(args)
 
 

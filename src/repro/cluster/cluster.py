@@ -132,10 +132,14 @@ class Cluster:
         engine: Engine,
         rngs: RngStreams,
         event_log: Optional[EventLog] = None,
+        telemetry=None,
     ):
         self.spec = spec
         self.engine = engine
         self.event_log = event_log if event_log is not None else EventLog()
+        #: obs.Telemetry bundle, forwarded to the health monitor and the
+        #: failure injector (None or disabled = zero-overhead path).
+        self.telemetry = telemetry
         self.nodes: Dict[int, Node] = {
             i: Node(node_id=i, rack_id=i // SERVERS_PER_RACK, pod_id=i // SERVERS_PER_POD)
             for i in range(spec.n_nodes)
@@ -156,7 +160,10 @@ class Cluster:
             ipmi_check_introduced_at=spec.ipmi_check_introduced_frac * span,
         )
         self.monitor = HealthMonitor(
-            checks, rngs.stream(f"{spec.name}.health"), event_log=self.event_log
+            checks,
+            rngs.stream(f"{spec.name}.health"),
+            event_log=self.event_log,
+            telemetry=telemetry,
         )
         self.remediation = RemediationWorkflow(
             engine,
@@ -173,6 +180,7 @@ class Cluster:
             self.monitor,
             rngs.stream(f"{spec.name}.failures"),
             on_incident=self._handle_incident,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------

@@ -60,6 +60,7 @@ class FailureInjector:
         monitor: HealthMonitor,
         rng: np.random.Generator,
         on_incident: Optional[Callable[[FailureIncident], None]] = None,
+        telemetry=None,
     ):
         self.engine = engine
         self.nodes = nodes
@@ -67,6 +68,8 @@ class FailureInjector:
         self.monitor = monitor
         self._rng = rng
         self.on_incident = on_incident
+        #: obs.Telemetry bundle; injections/attributions are traced when on.
+        self.telemetry = telemetry
         self.incidents: List[FailureIncident] = []
         self._pending: Dict[int, ScheduledEvent] = {}
 
@@ -154,6 +157,29 @@ class FailureInjector:
             severity=self.monitor.max_severity(results),
         )
         self.incidents.append(incident)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "failure.injected",
+                node.name,
+                t,
+                node_id=node_id,
+                incident_id=incident.incident_id,
+                component=component.value,
+                failure_class=failure_class.value,
+                attributed=incident.attributed,
+                heartbeat_only=heartbeat_only,
+                detection_latency_s=detection_time - t,
+            )
+            metrics = telemetry.metrics
+            metrics.counter(
+                "failures_injected_total", component=component.value
+            ).inc()
+            metrics.counter(
+                "failures_attributed_total"
+                if incident.attributed
+                else "failures_unattributed_total"
+            ).inc()
         if component is ComponentType.GPU or component is ComponentType.GPU_MEMORY:
             node.counters.xid_cnt += 1
         elif any(r.xid is not None for r in results):

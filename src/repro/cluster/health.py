@@ -170,6 +170,7 @@ class HealthMonitor:
         rng: np.random.Generator,
         event_log: Optional[EventLog] = None,
         heartbeat_latency: Tuple[float, float] = (1 * MINUTE, 10 * MINUTE),
+        telemetry=None,
     ):
         if not checks:
             raise ValueError("monitor requires at least one check")
@@ -181,6 +182,8 @@ class HealthMonitor:
         self.event_log = event_log if event_log is not None else EventLog()
         self._heartbeat_latency = heartbeat_latency
         self._incident_seq = itertools.count()
+        #: obs.Telemetry bundle; check outcomes are traced when enabled.
+        self.telemetry = telemetry
 
     def check_named(self, name: str) -> HealthCheck:
         return self._by_name[name]
@@ -232,6 +235,20 @@ class HealthMonitor:
             incident_id=incident_id,
             component=component.value,
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "health.heartbeat_only",
+                f"node-{node_id:05d}",
+                t,
+                node_id=node_id,
+                incident_id=incident_id,
+                component=component.value,
+                detection_time=detection_time,
+            )
+            telemetry.metrics.counter(
+                "health_heartbeat_only_total"
+            ).inc()
         return [], detection_time, True
 
     def _fire(
@@ -262,6 +279,24 @@ class HealthMonitor:
             incident_id=incident_id,
             xid=xid,
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            # Traced at the incident time t (not result.time) so the
+            # telemetry stream stays monotone per category.
+            telemetry.tracer.emit(
+                "health.check_fired",
+                f"node-{node_id:05d}",
+                t,
+                node_id=node_id,
+                check=check.name,
+                severity=int(check.severity),
+                component=component.value,
+                incident_id=incident_id,
+                latency_s=latency,
+            )
+            telemetry.metrics.counter(
+                "health_checks_fired_total", check=check.name
+            ).inc()
         return result
 
     def max_severity(self, results: Sequence[HealthCheckResult]) -> CheckSeverity:

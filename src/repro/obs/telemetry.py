@@ -1,0 +1,103 @@
+"""The telemetry bundle handed to instrumented subsystems.
+
+A :class:`Telemetry` pairs one :class:`~repro.obs.tracer.Tracer` (the
+structured event stream) with one
+:class:`~repro.obs.metrics.MetricsRegistry` (the aggregate counters and
+timers).  Every instrumented constructor takes ``telemetry=None``;
+``None`` (or a disabled bundle) keeps the hot seams on their
+zero-overhead path.
+
+Factories cover the three deployment shapes:
+
+* :meth:`Telemetry.disabled` — wired but off (the implicit default),
+* :meth:`Telemetry.in_memory` — ring-buffer sink, for tests and notebooks,
+* :meth:`Telemetry.to_directory` — JSONL stream + metrics snapshot on
+  disk, the shape ``repro campaign --telemetry`` produces and
+  ``repro obs summary`` consumes.
+"""
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import JsonlSink, ObsEvent, RingBufferSink, Tracer
+
+#: File suffixes for the on-disk telemetry pair written next to traces.
+EVENTS_SUFFIX = ".events.jsonl"
+METRICS_SUFFIX = ".metrics.json"
+
+
+class Telemetry:
+    """One tracer + one metrics registry, moved through the stack as a unit."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Where :meth:`finalize` writes the metrics snapshot (None skips).
+        self.metrics_path: Optional[str] = None
+        self._finalized = False
+
+    @property
+    def enabled(self) -> bool:
+        """Hot-seam gate: instrumentation emits only when this is True."""
+        return self.tracer.enabled
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A wired-but-off bundle (useful for overhead tests)."""
+        return cls()
+
+    @classmethod
+    def in_memory(cls, capacity: int = 65536) -> "Telemetry":
+        """Enabled bundle capturing events in a bounded ring buffer."""
+        return cls(tracer=Tracer(RingBufferSink(capacity)))
+
+    @classmethod
+    def to_directory(
+        cls, directory: Union[str, os.PathLike], stem: str = "telemetry"
+    ) -> "Telemetry":
+        """Enabled bundle writing ``<stem>.events.jsonl`` under ``directory``.
+
+        :meth:`finalize` completes the pair with ``<stem>.metrics.json``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        telemetry = cls(tracer=Tracer(JsonlSink(directory / f"{stem}{EVENTS_SUFFIX}")))
+        telemetry.metrics_path = str(directory / f"{stem}{METRICS_SUFFIX}")
+        return telemetry
+
+    # ------------------------------------------------------------------
+    # inspection / teardown
+    # ------------------------------------------------------------------
+    def events(self) -> List[ObsEvent]:
+        """Captured events, for ring-buffer telemetry (else empty)."""
+        sink = self.tracer.sink
+        if isinstance(sink, RingBufferSink):
+            return sink.events()
+        return []
+
+    def finalize(self) -> None:
+        """Flush and close the stream; write the metrics snapshot if placed.
+
+        Idempotent, so error paths may call it defensively.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.metrics_path is not None:
+            self.metrics.write_snapshot(self.metrics_path)
+        self.tracer.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry({'on' if self.enabled else 'off'}, "
+            f"events={self.tracer.events_emitted}, metrics={len(self.metrics)})"
+        )

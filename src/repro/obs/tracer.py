@@ -1,0 +1,192 @@
+"""Structured event tracing: typed, timestamped records with pluggable sinks.
+
+The tracer is the simulator's own operational log — the analogue of the
+health-check event streams and Slurm accounting logs the paper mines.
+Instrumented subsystems (the event engine, failure injector, health
+monitor, scheduler, runtime pool/cache) emit :class:`ObsEvent` records
+through one :class:`Tracer`; where the events land is a sink decision:
+
+* :class:`RingBufferSink` — bounded in-memory buffer for tests and
+  interactive inspection,
+* :class:`JsonlSink` — one JSON object per line, the durable stream
+  ``repro obs summary`` consumes,
+* :class:`NullSink` — discard (the default).
+
+The tracer is **off by default** and the disabled path is a single
+attribute check, so instrumentation can stay wired into hot seams
+permanently.  Emitting records never touches any RNG stream, so an
+instrumented run is bit-identical to an uninstrumented one (the
+determinism tests assert this).
+"""
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+
+def label_group(label: str) -> str:
+    """Collapse an event label to its bounded-cardinality group.
+
+    Engine labels embed entity ids (``"failure:1734"``, ``"end:88"``);
+    grouping on the prefix before ``":"`` keeps per-label metrics at a
+    fixed, small cardinality.
+    """
+    if not label:
+        return "unlabeled"
+    return label.partition(":")[0]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One telemetry record.
+
+    Attributes:
+        sim_time: Simulation clock at emission (seconds).  Within one
+            campaign run, non-decreasing per category.
+        wall_time: Host ``perf_counter`` clock at emission.
+        category: Namespaced event category (``"sim.execute"``,
+            ``"failure.injected"``, ``"cache.hit"``, ...).
+        label: The concerned entity or engine-event label.
+        attrs: Free-form JSON-serializable payload.
+    """
+
+    sim_time: float
+    wall_time: float
+    category: str
+    label: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+            "category": self.category,
+            "label": self.label,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "ObsEvent":
+        return cls(
+            sim_time=float(payload["sim_time"]),
+            wall_time=float(payload["wall_time"]),
+            category=str(payload["category"]),
+            label=str(payload.get("label", "")),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class NullSink:
+    """Discards every event (the disabled tracer's sink)."""
+
+    def write(self, event: ObsEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: "deque[ObsEvent]" = deque(maxlen=capacity)
+        self.total_written = 0
+
+    def write(self, event: ObsEvent) -> None:
+        self._buffer.append(event)
+        self.total_written += 1
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def dropped(self) -> int:
+        return self.total_written - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self._buffer)
+
+    def events(self) -> List[ObsEvent]:
+        return list(self._buffer)
+
+
+class JsonlSink:
+    """Appends one compact JSON object per event to ``path``."""
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.total_written = 0
+
+    def write(self, event: ObsEvent) -> None:
+        self._fh.write(
+            json.dumps(event.to_json_dict(), separators=(",", ":")) + "\n"
+        )
+        self.total_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer:
+    """Emits :class:`ObsEvent` records to a sink when enabled.
+
+    The ``enabled`` flag is a plain attribute checked by every
+    instrumentation site before doing *any* work; a tracer built with no
+    sink (or a :class:`NullSink`) defaults to disabled.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[object] = None,
+        enabled: Optional[bool] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.sink = sink if sink is not None else NullSink()
+        if enabled is None:
+            enabled = not isinstance(self.sink, NullSink)
+        self.enabled = bool(enabled)
+        self.events_emitted = 0
+        self._clock = clock
+
+    def emit(
+        self, category: str, label: str, sim_time: float, **attrs: Any
+    ) -> Optional[ObsEvent]:
+        """Record one event; no-op (returning None) when disabled."""
+        if not self.enabled:
+            return None
+        event = ObsEvent(
+            sim_time=float(sim_time),
+            wall_time=self._clock(),
+            category=category,
+            label=label,
+            attrs=attrs,
+        )
+        self.sink.write(event)
+        self.events_emitted += 1
+        return event
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"Tracer({type(self.sink).__name__}, {state}, "
+            f"emitted={self.events_emitted})"
+        )
+
+
+#: Shared always-off tracer for call sites that want a non-None default.
+NULL_TRACER = Tracer()

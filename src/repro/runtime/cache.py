@@ -62,12 +62,29 @@ class TraceCache:
         self,
         root: Optional[os.PathLike] = None,
         enabled: Optional[bool] = None,
+        telemetry=None,
     ):
         self.root = Path(root) if root is not None else default_cache_root()
         self.enabled = cache_enabled_by_env() if enabled is None else enabled
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: obs.Telemetry bundle; hit/miss/write traffic is mirrored into
+        #: its tracer + registry when enabled.  Reassignable per call site
+        #: (the CLI routes each seed's cache traffic to that seed's stream).
+        self.telemetry = telemetry
+
+    def _observe(self, outcome: str, digest: str) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            # sim_time 0.0: cache traffic happens outside simulation time.
+            telemetry.tracer.emit(
+                f"cache.{outcome}", digest[:12], 0.0, digest=digest
+            )
+            plural = {"hit": "hits", "miss": "misses", "write": "writes"}
+            telemetry.metrics.counter(
+                f"trace_cache_{plural[outcome]}_total"
+            ).inc()
 
     # ------------------------------------------------------------------
     # addressing
@@ -105,16 +122,19 @@ class TraceCache:
             trace = Trace.from_dict(entry["trace"])
         except FileNotFoundError:
             self.misses += 1
+            self._observe("miss", digest)
             return None
         except Exception:
             # Corrupt or stale entry: drop it and treat as a miss.
             self.misses += 1
+            self._observe("miss", digest)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        self._observe("hit", digest)
         runtime = dict(trace.metadata.get("runtime", {}))
         runtime["source"] = "cache"
         trace.metadata["runtime"] = runtime
@@ -147,6 +167,7 @@ class TraceCache:
                 pass
             raise
         self.writes += 1
+        self._observe("write", digest)
         return path
 
     # ------------------------------------------------------------------

@@ -23,13 +23,22 @@ measurable, not anecdotal.
 
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Union
 
 from repro.campaign import CampaignConfig, run_campaign
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import TraceCache
 from repro.workload.trace import Trace
+
+#: Registry counters the pool maintains; ``last_stats`` is rebuilt from
+#: the per-run deltas of exactly these.
+_POOL_COUNTERS = (
+    "pool_campaigns_total",
+    "pool_cache_hits_total",
+    "pool_simulated_total",
+    "pool_events_executed_total",
+)
 
 
 def _simulate(config: CampaignConfig) -> Trace:
@@ -71,6 +80,7 @@ class CampaignPool:
         max_workers: Optional[int] = None,
         cache: Union[TraceCache, bool, None] = None,
         mp_context: Optional[str] = None,
+        telemetry=None,
     ):
         """
         Args:
@@ -81,6 +91,11 @@ class CampaignPool:
                 caching for this pool.
             mp_context: multiprocessing start method (``"fork"``/
                 ``"spawn"``); ``None`` uses the platform default.
+            telemetry: Optional :class:`repro.obs.Telemetry`; the pool
+                accounts into its registry (and emits dispatch events when
+                the tracer is enabled).  Without one, the pool still owns
+                a private :class:`MetricsRegistry` — ``last_stats`` is
+                always derived from registry counters.
         """
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -92,6 +107,10 @@ class CampaignPool:
         else:
             self.cache = cache
         self.mp_context = mp_context
+        self.telemetry = telemetry
+        self.metrics: MetricsRegistry = (
+            telemetry.metrics if telemetry is not None else MetricsRegistry()
+        )
         self.last_stats: Optional[SweepStats] = None
 
     # ------------------------------------------------------------------
@@ -104,46 +123,79 @@ class CampaignPool:
         return max(1, min(limit, n_misses))
 
     def run(self, configs: Sequence[CampaignConfig]) -> List[Trace]:
-        """Simulate (or load) every config; results in input order."""
-        t0 = time.perf_counter()
+        """Simulate (or load) every config; results in input order.
+
+        All accounting flows through the metrics registry (counters are
+        cumulative across ``run`` calls); ``last_stats`` is rebuilt from
+        this run's counter deltas, so the registry is the single source
+        of truth for sweep statistics.
+        """
+        metrics = self.metrics
+        baseline = {
+            name: metrics.counter(name).value for name in _POOL_COUNTERS
+        }
         configs = list(configs)
         results: List[Optional[Trace]] = [None] * len(configs)
         miss_indices: List[int] = []
-        hits = 0
-        for i, config in enumerate(configs):
-            cached = self.cache.get(config) if self.cache is not None else None
-            if cached is not None:
-                results[i] = cached
-                hits += 1
-            else:
-                miss_indices.append(i)
+        with metrics.timer("pool_sweep_wall_seconds") as sweep_timer:
+            for i, config in enumerate(configs):
+                cached = (
+                    self.cache.get(config) if self.cache is not None else None
+                )
+                if cached is not None:
+                    results[i] = cached
+                    metrics.counter("pool_cache_hits_total").inc()
+                else:
+                    miss_indices.append(i)
 
-        workers = self._worker_count(len(miss_indices))
-        if miss_indices:
-            miss_configs = [configs[i] for i in miss_indices]
-            traces, workers = self._execute(miss_configs, workers)
-            for i, trace in zip(miss_indices, traces):
-                runtime = dict(trace.metadata.get("runtime", {}))
-                runtime["executor"] = "process" if workers > 1 else "inline"
-                trace.metadata["runtime"] = runtime
-                if self.cache is not None:
-                    self.cache.put(configs[i], trace)
-                results[i] = trace
+            workers = self._worker_count(len(miss_indices))
+            if miss_indices:
+                miss_configs = [configs[i] for i in miss_indices]
+                traces, workers = self._execute(miss_configs, workers)
+                for i, trace in zip(miss_indices, traces):
+                    runtime = dict(trace.metadata.get("runtime", {}))
+                    runtime["executor"] = "process" if workers > 1 else "inline"
+                    trace.metadata["runtime"] = runtime
+                    if self.cache is not None:
+                        self.cache.put(configs[i], trace)
+                    results[i] = trace
+                    metrics.counter("pool_simulated_total").inc()
+                    metrics.histogram("campaign_wall_seconds").observe(
+                        float(runtime.get("wall_time_s", 0.0))
+                    )
+            metrics.counter("pool_campaigns_total").inc(len(configs))
+            metrics.counter("pool_events_executed_total").inc(
+                sum(
+                    int(t.metadata.get("runtime", {}).get("events_executed", 0))
+                    for t in results
+                    if t is not None
+                )
+            )
+            metrics.gauge("pool_workers").set(workers if miss_indices else 0)
 
-        wall = time.perf_counter() - t0
-        events = sum(
-            int(t.metadata.get("runtime", {}).get("events_executed", 0))
-            for t in results
-            if t is not None
-        )
+        def delta(name: str) -> int:
+            return int(metrics.counter(name).value - baseline[name])
+
         self.last_stats = SweepStats(
-            campaigns=len(configs),
-            cache_hits=hits,
-            simulated=len(miss_indices),
-            workers=workers if miss_indices else 0,
-            wall_time_s=wall,
-            events_executed=events,
+            campaigns=delta("pool_campaigns_total"),
+            cache_hits=delta("pool_cache_hits_total"),
+            simulated=delta("pool_simulated_total"),
+            workers=int(metrics.gauge("pool_workers").value),
+            wall_time_s=sweep_timer.elapsed,
+            events_executed=delta("pool_events_executed_total"),
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "pool.sweep",
+                f"{len(configs)}-campaigns",
+                0.0,
+                campaigns=self.last_stats.campaigns,
+                cache_hits=self.last_stats.cache_hits,
+                simulated=self.last_stats.simulated,
+                workers=self.last_stats.workers,
+                wall_time_s=self.last_stats.wall_time_s,
+            )
         return [t for t in results if t is not None]
 
     def _execute(

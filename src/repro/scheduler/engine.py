@@ -58,6 +58,7 @@ class SlurmLikeScheduler:
         requeued_status_probability: float = 0.35,
         exclude_probability: float = 0.25,
         pass_period: float = 30 * MINUTE,
+        telemetry=None,
     ):
         if not 0 <= requeued_status_probability <= 1:
             raise ValueError("requeued_status_probability must be in [0, 1]")
@@ -73,6 +74,9 @@ class SlurmLikeScheduler:
         self.event_log = event_log if event_log is not None else cluster.event_log
         self.requeued_status_probability = requeued_status_probability
         self.exclude_probability = exclude_probability
+        #: obs.Telemetry bundle; job lifecycle transitions are traced when
+        #: enabled (submit/start/preempt/requeue/finish).
+        self.telemetry = telemetry
         self._rng = rngs.stream("scheduler")
 
         self.jobs: Dict[int, Job] = {}
@@ -107,6 +111,17 @@ class SlurmLikeScheduler:
             raise ValueError(f"duplicate job id {spec.job_id}")
         job = Job(spec)
         self.jobs[spec.job_id] = job
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "sched.submit",
+                f"job-{spec.job_id}",
+                self.engine.now,
+                job_id=spec.job_id,
+                n_gpus=spec.n_gpus,
+                submit_time=spec.submit_time,
+            )
+            telemetry.metrics.counter("sched_jobs_submitted_total").inc()
         if self.engine.now >= spec.submit_time:
             job.enqueue_time = self.engine.now
             self.pending.append(job)
@@ -166,7 +181,19 @@ class SlurmLikeScheduler:
         )
         if plan is None:
             return None
+        telemetry = self.telemetry
+        observing = telemetry is not None and telemetry.enabled
         for victim in plan.victims:
+            if observing:
+                telemetry.tracer.emit(
+                    "sched.preempt",
+                    f"job-{victim.job_id}",
+                    now,
+                    job_id=victim.job_id,
+                    instigator_job_id=job.job_id,
+                    n_gpus=victim.n_gpus,
+                )
+                telemetry.metrics.counter("sched_preemptions_total").inc()
             self._interrupt(
                 victim,
                 state=JobState.PREEMPTED,
@@ -191,6 +218,18 @@ class SlurmLikeScheduler:
         job.start_time = now
         job.node_ids = [n.node_id for n in nodes]
         self.running.add(job.job_id)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "sched.start",
+                f"job-{job.job_id}",
+                now,
+                job_id=job.job_id,
+                attempt=job.attempt,
+                n_gpus=job.n_gpus,
+                nodes=len(nodes),
+            )
+            telemetry.metrics.counter("sched_attempts_started_total").inc()
         if self.preflight is not None and self.preflight.applies_to(job.n_nodes):
             # Hold the allocation while the hardware battery runs; the
             # gang only begins real work once every node passes.
@@ -304,6 +343,20 @@ class SlurmLikeScheduler:
             state=record.state.value,
             n_gpus=record.n_gpus,
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "sched.finish",
+                f"job-{job.job_id}",
+                self.engine.now,
+                job_id=job.job_id,
+                attempt=record.attempt,
+                state=record.state.value,
+                n_gpus=record.n_gpus,
+            )
+            telemetry.metrics.counter(
+                "sched_attempts_total", state=record.state.value
+            ).inc()
         self._request_pass()
 
     def _natural_end(self, job: Job) -> None:
@@ -385,6 +438,17 @@ class SlurmLikeScheduler:
                 job.requeues_used += 1
                 job.reenqueue(now)
                 self.pending.append(job)
+                telemetry = self.telemetry
+                if telemetry is not None and telemetry.enabled:
+                    telemetry.tracer.emit(
+                        "sched.requeue",
+                        f"job-{job.job_id}",
+                        now,
+                        job_id=job.job_id,
+                        failing_node_id=node.node_id,
+                        requeues_used=job.requeues_used,
+                    )
+                    telemetry.metrics.counter("sched_requeues_total").inc()
         self.index.remove(node.node_id)
         self._request_pass()
 

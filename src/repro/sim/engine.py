@@ -11,7 +11,11 @@ uses seconds (see :mod:`repro.sim.timeunits`).
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from time import perf_counter
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass(order=True)
@@ -36,14 +40,26 @@ class ScheduledEvent:
         if self.cancelled:
             return
         self.cancelled = True
-        if self._owner is not None:
-            self._owner._live -= 1
+        owner = self._owner
+        if owner is not None:
+            owner._live -= 1
+            telemetry = owner.telemetry
+            if telemetry is not None and telemetry.enabled:
+                telemetry.tracer.emit(
+                    "sim.cancel",
+                    self.label,
+                    owner._now,
+                    seq=self.seq,
+                    scheduled_for=self.time,
+                )
 
 
 class Engine:
     """A deterministic discrete-event simulation loop."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(
+        self, start_time: float = 0.0, telemetry: Optional["Telemetry"] = None
+    ):
         self._now = float(start_time)
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
@@ -51,6 +67,9 @@ class Engine:
         self._live = 0  # non-cancelled events on the heap, kept exact
         self._running = False
         self._stopped = False
+        #: Optional obs.Telemetry bundle; None (or a disabled bundle) keeps
+        #: the run loop on its untraced path.  Checked once per run_until.
+        self.telemetry = telemetry
 
     @property
     def now(self) -> float:
@@ -112,12 +131,23 @@ class Engine:
 
         Events scheduled exactly at ``end_time`` execute.  ``max_events``
         guards against runaway feedback loops in tests.
+
+        A callback that raises leaves the engine consistent: ``_running``
+        is reset, the failing event counts as executed, and the exception
+        is re-raised annotated with the event's label and time
+        (``err.sim_event_label`` / ``err.sim_event_time`` plus an
+        ``add_note`` message), so the run can be diagnosed and — if the
+        caller chooses — resumed with another ``run_until``.
         """
         if self._running:
             raise RuntimeError("engine is already running (reentrant run_until)")
         self._running = True
         self._stopped = False
         budget = max_events if max_events is not None else float("inf")
+        # Telemetry is sampled once per run; enabling mid-run takes effect
+        # on the next run_until call.  The disabled path costs one branch.
+        telemetry = self.telemetry
+        traced = telemetry is not None and telemetry.enabled
         try:
             while self._heap and not self._stopped:
                 event = self._heap[0]
@@ -133,8 +163,52 @@ class Engine:
                         "possible event feedback loop"
                     )
                 self._now = event.time
-                event.callback()
+                if traced:
+                    wall_start = perf_counter()
+                try:
+                    event.callback()
+                except BaseException as err:
+                    self._executed += 1
+                    err.sim_event_label = event.label
+                    err.sim_event_time = event.time
+                    if hasattr(err, "add_note"):
+                        err.add_note(
+                            f"while executing sim event "
+                            f"{event.label or '<unlabeled>'!r} "
+                            f"(seq {event.seq}) at t={event.time}"
+                        )
+                    if traced:
+                        telemetry.tracer.emit(
+                            "sim.error",
+                            event.label,
+                            event.time,
+                            seq=event.seq,
+                            error=type(err).__name__,
+                        )
+                    raise
                 self._executed += 1
+                if traced:
+                    duration = perf_counter() - wall_start
+                    group = (
+                        event.label.partition(":")[0]
+                        if event.label
+                        else "unlabeled"
+                    )
+                    telemetry.tracer.emit(
+                        "sim.execute",
+                        event.label,
+                        event.time,
+                        seq=event.seq,
+                        group=group,
+                        duration_s=duration,
+                    )
+                    metrics = telemetry.metrics
+                    metrics.counter(
+                        "sim_events_executed_total", label=group
+                    ).inc()
+                    metrics.histogram(
+                        "sim_event_duration_seconds", label=group
+                    ).observe(duration)
             # Advance the clock to the horizon even if the heap drained
             # early, so periodic measurements read a consistent end time.
             if not self._stopped and end_time > self._now:

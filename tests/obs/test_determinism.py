@@ -1,0 +1,84 @@
+"""Telemetry must observe, never perturb.
+
+The contract: an instrumented campaign produces a byte-identical trace
+(modulo the wall-clock ``runtime`` metadata block, which is timing and
+can never be deterministic) and identical cache behavior, because the
+tracer and registry never touch an RNG stream or simulation state.
+"""
+
+import json
+
+import pytest
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.obs import Telemetry
+from repro.runtime import TraceCache, config_digest, trace_digest
+
+
+@pytest.fixture(scope="module")
+def config():
+    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=6)
+    return CampaignConfig(cluster_spec=spec, duration_days=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def plain_trace(config):
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def instrumented(config):
+    telemetry = Telemetry.in_memory()
+    trace = run_campaign(config, telemetry=telemetry)
+    return trace, telemetry
+
+
+def _comparable_dict(trace):
+    payload = trace.to_dict()
+    payload["header"]["metadata"].pop("runtime", None)
+    return payload
+
+
+def test_instrumentation_actually_ran(instrumented):
+    _trace, telemetry = instrumented
+    assert telemetry.tracer.events_emitted > 100
+    categories = {e.category for e in telemetry.events()}
+    assert "sim.execute" in categories
+    assert "sched.finish" in categories
+    assert len(telemetry.metrics) > 0
+
+
+def test_trace_to_dict_byte_identical(plain_trace, instrumented):
+    traced, _ = instrumented
+    plain = json.dumps(_comparable_dict(plain_trace), sort_keys=True)
+    inst = json.dumps(_comparable_dict(traced), sort_keys=True)
+    assert plain == inst
+
+
+def test_trace_digests_identical(plain_trace, instrumented):
+    traced, _ = instrumented
+    assert trace_digest(plain_trace) == trace_digest(traced)
+
+
+def test_config_digest_ignores_telemetry(config):
+    # Telemetry is not a config field, so the cache key cannot depend on
+    # whether a run was instrumented.
+    assert config_digest(config) == config_digest(config)
+
+
+def test_cache_round_trip_across_instrumentation(config, instrumented, tmp_path):
+    """A trace simulated under telemetry serves uninstrumented cache hits."""
+    traced, _ = instrumented
+    cache = TraceCache(root=tmp_path, enabled=True)
+    cache.put(config, traced)
+    loaded = cache.get(config)
+    assert loaded is not None
+    assert cache.stats()["hits"] == 1
+    assert trace_digest(loaded) == trace_digest(traced)
+
+
+def test_disabled_telemetry_bundle_is_inert(config, plain_trace):
+    telemetry = Telemetry.disabled()
+    trace = run_campaign(config, telemetry=telemetry)
+    assert telemetry.tracer.events_emitted == 0
+    assert trace_digest(trace) == trace_digest(plain_trace)

@@ -1,0 +1,115 @@
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Timer, load_snapshot
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total").inc()
+    reg.counter("jobs_total").inc(2)
+    assert reg.counter("jobs_total").value == 3
+    with pytest.raises(ValueError):
+        reg.counter("jobs_total").inc(-1)
+
+
+def test_labels_distinguish_series():
+    reg = MetricsRegistry()
+    reg.counter("fails_total", component="gpu").inc()
+    reg.counter("fails_total", component="pcie").inc(5)
+    assert reg.counter("fails_total", component="gpu").value == 1
+    assert reg.counter("fails_total", component="pcie").value == 5
+    assert len(reg) == 2
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_gauge_set_and_move():
+    reg = MetricsRegistry()
+    g = reg.gauge("workers")
+    g.set(4)
+    g.dec()
+    assert g.value == 3
+
+
+def test_histogram_percentiles_and_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("wall_seconds")
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    assert h.count == 100
+    assert h.min == 1.0 and h.max == 100.0
+    assert h.percentile(50) == pytest.approx(50.5)
+    assert h.percentile(95) == pytest.approx(95.05)
+    snap = h.snapshot()
+    assert snap["count"] == 100
+    assert snap["p50"] == pytest.approx(50.5)
+
+
+def test_empty_histogram_is_safe():
+    reg = MetricsRegistry()
+    h = reg.histogram("empty")
+    assert h.percentile(50) == 0.0
+    assert h.snapshot() == {"count": 0, "sum": 0.0}
+
+
+def test_timer_observes_elapsed():
+    reg = MetricsRegistry()
+    with reg.timer("phase_seconds", phase="simulate") as t:
+        pass
+    assert isinstance(t, Timer)
+    assert t.elapsed is not None and t.elapsed >= 0
+    assert reg.histogram("phase_seconds", phase="simulate").count == 1
+
+
+def test_to_dict_and_snapshot_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("hits_total").inc(7)
+    reg.gauge("workers").set(2)
+    reg.histogram("wall", kind="cold").observe(1.5)
+    path = tmp_path / "metrics.json"
+    reg.write_snapshot(path)
+    snap = load_snapshot(path)
+    assert snap == reg.to_dict()
+    assert snap["counters"][0] == {
+        "name": "hits_total",
+        "labels": {},
+        "value": 7.0,
+    }
+    [hist] = snap["histograms"]
+    assert hist["labels"] == {"kind": "cold"}
+    assert hist["sum"] == 1.5
+    # the snapshot is plain JSON
+    json.dumps(snap)
+
+
+def test_render_prometheus_format():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", cache="trace").inc(3)
+    reg.histogram("wall_seconds").observe(2.0)
+    text = reg.render_prometheus()
+    assert '# TYPE hits_total counter' in text
+    assert 'hits_total{cache="trace"} 3' in text
+    assert '# TYPE wall_seconds summary' in text
+    assert 'wall_seconds{quantile="0.5"} 2' in text
+    assert 'wall_seconds_count 1' in text
+    assert 'wall_seconds_sum 2' in text
+
+
+def test_histogram_downsamples_but_keeps_moments():
+    reg = MetricsRegistry()
+    h = reg.histogram("big")
+    h._max_samples = 100
+    for v in range(1000):
+        h.observe(float(v))
+    assert h.count == 1000
+    assert h.total == sum(range(1000))
+    assert len(h._samples) <= 200
+    # quantiles stay in the right neighbourhood after downsampling
+    assert 300 < h.percentile(50) < 700

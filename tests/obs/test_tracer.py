@@ -1,0 +1,82 @@
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    NULL_TRACER,
+    NullSink,
+    ObsEvent,
+    RingBufferSink,
+    Tracer,
+    label_group,
+)
+
+
+def test_disabled_tracer_emits_nothing():
+    sink = RingBufferSink()
+    tracer = Tracer(sink, enabled=False)
+    assert tracer.emit("sim.execute", "x", 1.0, a=1) is None
+    assert tracer.events_emitted == 0
+    assert len(sink) == 0
+
+
+def test_default_tracer_is_disabled():
+    tracer = Tracer()
+    assert not tracer.enabled
+    assert NULL_TRACER.enabled is False
+
+
+def test_sink_presence_enables():
+    assert Tracer(RingBufferSink()).enabled
+    assert not Tracer(NullSink()).enabled
+
+
+def test_ring_buffer_captures_events_in_order():
+    tracer = Tracer(RingBufferSink())
+    tracer.emit("a.b", "one", 1.0, k=1)
+    tracer.emit("a.c", "two", 2.0)
+    events = tracer.sink.events()
+    assert [e.category for e in events] == ["a.b", "a.c"]
+    assert events[0].sim_time == 1.0
+    assert events[0].attrs == {"k": 1}
+    assert events[0].label == "one"
+    assert tracer.events_emitted == 2
+
+
+def test_ring_buffer_bounds_memory():
+    sink = RingBufferSink(capacity=3)
+    tracer = Tracer(sink)
+    for i in range(10):
+        tracer.emit("c", "", float(i))
+    assert len(sink) == 3
+    assert sink.dropped == 7
+    assert [e.sim_time for e in sink] == [7.0, 8.0, 9.0]
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    tracer.emit("failure.injected", "node-00001", 42.5, component="gpu")
+    tracer.emit("sim.execute", "end:3", 43.0, duration_s=0.001)
+    tracer.close()
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    payloads = [json.loads(line) for line in lines]
+    events = [ObsEvent.from_json_dict(p) for p in payloads]
+    assert events[0].category == "failure.injected"
+    assert events[0].attrs["component"] == "gpu"
+    assert events[1].sim_time == 43.0
+    # wall_time is monotone within one tracer
+    assert events[1].wall_time >= events[0].wall_time
+
+
+def test_label_group_collapses_entity_ids():
+    assert label_group("failure:1734") == "failure"
+    assert label_group("sched-tick") == "sched-tick"
+    assert label_group("") == "unlabeled"

@@ -1,5 +1,6 @@
 import pytest
 
+from repro.obs import Telemetry
 from repro.sim.engine import Engine
 
 
@@ -166,3 +167,69 @@ def test_pending_events_with_cancellations_across_run():
     assert fired == ["keep"]
     assert keep.cancelled is False
     assert engine.pending_events == 0
+
+
+def _boom():
+    raise ValueError("kaboom")
+
+
+def test_callback_exception_leaves_engine_consistent():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(1.0, _boom, label="boom:7")
+    engine.schedule_at(2.0, lambda: fired.append("later"))
+    with pytest.raises(ValueError, match="kaboom") as excinfo:
+        engine.run_until(10.0)
+    err = excinfo.value
+    assert err.sim_event_label == "boom:7"
+    assert err.sim_event_time == 1.0
+    assert any("boom:7" in note for note in getattr(err, "__notes__", []))
+    # The failing event counts as executed and _running was reset...
+    assert engine.executed_events == 1
+    assert engine.now == 1.0
+    # ...so the engine is resumable: a second run executes the survivor.
+    engine.run_until(10.0)
+    assert fired == ["later"]
+    assert engine.executed_events == 2
+
+
+def test_callback_exception_traced():
+    telemetry = Telemetry.in_memory()
+    engine = Engine(telemetry=telemetry)
+    engine.schedule_at(3.0, _boom, label="boom")
+    with pytest.raises(ValueError):
+        engine.run_until(10.0)
+    errors = [e for e in telemetry.events() if e.category == "sim.error"]
+    assert len(errors) == 1
+    assert errors[0].attrs["error"] == "ValueError"
+    assert errors[0].sim_time == 3.0
+
+
+def test_telemetry_traces_execution_and_cancel():
+    telemetry = Telemetry.in_memory()
+    engine = Engine(telemetry=telemetry)
+    engine.schedule_at(1.0, lambda: None, label="tick:1")
+    victim = engine.schedule_at(2.0, lambda: None, label="tick:2")
+    victim.cancel()
+    engine.run_until(5.0)
+    by_category = {}
+    for event in telemetry.events():
+        by_category.setdefault(event.category, []).append(event)
+    [executed] = by_category["sim.execute"]
+    assert executed.label == "tick:1"
+    assert executed.attrs["group"] == "tick"
+    assert executed.attrs["duration_s"] >= 0
+    [cancelled] = by_category["sim.cancel"]
+    assert cancelled.attrs["scheduled_for"] == 2.0
+    assert telemetry.metrics.counter(
+        "sim_events_executed_total", label="tick"
+    ).value == 1
+
+
+def test_disabled_telemetry_changes_nothing():
+    engine = Engine(telemetry=Telemetry.disabled())
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append(1))
+    engine.run_until(2.0)
+    assert fired == [1]
+    assert engine.telemetry.tracer.events_emitted == 0

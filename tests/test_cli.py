@@ -99,3 +99,59 @@ def test_export_subcommand(tmp_path, capsys):
     dest = tmp_path / "figs"
     assert main(["export", "--trace", str(out), "--out-dir", str(dest)]) == 0
     assert (dest / "fig3_job_status.csv").exists()
+
+
+def test_campaign_telemetry_then_obs_summary(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    tel = tmp_path / "telemetry"
+    code = main(
+        ["campaign", "--nodes", "16", "--days", "5", "--seed", "7",
+         "--no-cache", "--out", str(out), "--telemetry", str(tel)]
+    )
+    assert code == 0
+    assert out.exists()
+    assert (tel / "trace.events.jsonl").exists()
+    assert (tel / "trace.metrics.json").exists()
+    capsys.readouterr()  # drop campaign-phase output
+    assert main(["obs", "summary", str(tel)]) == 0
+    report = capsys.readouterr().out
+    assert "Telemetry summary" in report
+    assert "Events by category" in report
+    assert "sim.execute" in report
+    assert "Campaign phases (wall time)" in report
+
+
+def test_obs_summary_missing_path_errors(tmp_path, capsys):
+    assert main(["obs", "summary", str(tmp_path / "nope")]) == 1
+    captured = capsys.readouterr()
+    assert captured.out == ""  # errors go to the logger, not stdout
+    assert "no telemetry" in captured.err
+
+
+def test_quiet_flag_suppresses_diagnostics(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        ["-q", "campaign", "--nodes", "16", "--days", "5", "--seed", "7",
+         "--no-cache", "--out", str(out)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert captured.out == ""  # campaign writes files, not stdout
+
+
+def test_diagnostics_go_to_stderr_not_stdout(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        ["campaign", "--nodes", "16", "--days", "5", "--seed", "7",
+         "--no-cache", "--out", str(out)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "wrote" in captured.err
+
+
+def test_verbose_and_quiet_conflict():
+    with pytest.raises(SystemExit):
+        main(["-v", "-q", "sweep"])
