@@ -1,0 +1,134 @@
+"""Columnar pipeline acceptance: legacy vs fast single-seed simulate+analyze.
+
+The `make perf-smoke` experiment.  One RSC-1-like campaign runs twice from
+the same config and seed:
+
+* **legacy arm** — `incremental_indices=False` selects the pre-index
+  reference paths everywhere (O(N) cluster scans, per-allocation bucket
+  sorts, full-fleet preemption scans), and every analysis runs with
+  `use_columns=False` (rowwise loops over records/events, unmemoized
+  attribution).
+* **fast arm** — the defaults: incremental cluster/scheduler indices plus
+  the columnar analysis pipeline.
+
+Acceptance:
+
+* the two traces are **bit-identical** (`trace_digest`, which covers every
+  job record, node record, event, and metadata field), and
+* the fast arm's simulate+analyze wall time is at least 2x faster.
+
+The measured speedups append to ``BENCH_runtime.json`` at the repo root
+(bench name ``columnar_trace``) so the trajectory accumulates across
+sessions.
+"""
+
+import time
+
+from conftest import show
+
+from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro.analysis.ettr_analysis import ettr_comparison
+from repro.analysis.failure_rates import attributed_failure_rates
+from repro.analysis.goodput_loss import goodput_loss_analysis
+from repro.analysis.headline import headline_numbers
+from repro.analysis.job_sizes import job_size_distribution
+from repro.analysis.job_status import job_status_breakdown
+from repro.analysis.mttf_analysis import mttf_analysis
+from repro.analysis.report import render_table
+from repro.analysis.rolling_failures import failure_rate_timeline
+from repro.runtime import record_benchmark, trace_digest
+
+NODES = 512
+DAYS = 10
+SEED = 2025
+
+#: Wall-clock floor the ISSUE requires; measured margin is ~3x on one core.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _config() -> CampaignConfig:
+    spec = ClusterSpec.rsc1_like(n_nodes=NODES, campaign_days=DAYS)
+    return CampaignConfig(cluster_spec=spec, duration_days=DAYS, seed=SEED)
+
+
+def _analyze(trace, use_columns: bool) -> None:
+    """The full figure pipeline on one engine (fig. 3-9 + headline)."""
+    job_status_breakdown(trace, use_columns=use_columns)
+    job_size_distribution(trace, use_columns=use_columns)
+    attributed_failure_rates(trace, use_columns=use_columns)
+    failure_rate_timeline(trace, use_columns=use_columns)
+    mttf_analysis(trace, use_columns=use_columns)
+    goodput_loss_analysis(trace, use_columns=use_columns)
+    headline_numbers(trace, use_columns=use_columns)
+    try:
+        ettr_comparison(trace, use_columns=use_columns)
+    except ValueError:
+        pass  # short campaigns may not host a Fig. 9 cohort
+
+
+def test_perf_smoke_columnar_pipeline():
+    config = _config()
+
+    t0 = time.perf_counter()
+    legacy = run_campaign(config, incremental_indices=False)
+    legacy_sim_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _analyze(legacy, use_columns=False)
+    legacy_analyze_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = run_campaign(config)
+    fast_sim_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _analyze(fast, use_columns=True)  # includes building the columns
+    fast_analyze_s = time.perf_counter() - t0
+
+    # Bit-identical traces: the speedup changed nothing observable.
+    legacy_digest = trace_digest(legacy)
+    fast_digest = trace_digest(fast)
+    assert legacy_digest == fast_digest, (legacy_digest, fast_digest)
+
+    legacy_total = legacy_sim_s + legacy_analyze_s
+    fast_total = fast_sim_s + fast_analyze_s
+    speedup = legacy_total / fast_total
+
+    record = record_benchmark(
+        "columnar_trace",
+        {
+            "nodes": NODES,
+            "days": DAYS,
+            "seed": SEED,
+            "job_records": len(fast.job_records),
+            "events": len(fast.events),
+            "legacy_simulate_s": round(legacy_sim_s, 4),
+            "legacy_analyze_s": round(legacy_analyze_s, 4),
+            "fast_simulate_s": round(fast_sim_s, 4),
+            "fast_analyze_s": round(fast_analyze_s, 4),
+            "speedup_simulate": round(legacy_sim_s / fast_sim_s, 3),
+            "speedup_total": round(speedup, 3),
+            "digests_equal": True,
+            "trace_digest": fast_digest,
+        },
+    )
+
+    rows = [
+        ("legacy (scan + rowwise)", f"{legacy_sim_s:.2f}s",
+         f"{legacy_analyze_s:.2f}s", f"{legacy_total:.2f}s"),
+        ("fast (indices + columns)", f"{fast_sim_s:.2f}s",
+         f"{fast_analyze_s:.2f}s", f"{fast_total:.2f}s"),
+        ("speedup", f"{legacy_sim_s / fast_sim_s:.2f}x",
+         f"{legacy_analyze_s / max(fast_analyze_s, 1e-9):.2f}x",
+         f"{speedup:.2f}x"),
+    ]
+    show(
+        f"Columnar pipeline — RSC-1-like {NODES} nodes x {DAYS} days, "
+        f"seed {SEED}; digests equal; recorded to BENCH_runtime.json "
+        f"at {record['timestamp']}",
+        render_table(["arm", "simulate", "analyze", "total"], rows),
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"simulate+analyze speedup {speedup:.2f}x below the required "
+        f"{REQUIRED_SPEEDUP}x (legacy {legacy_total:.2f}s vs fast "
+        f"{fast_total:.2f}s)"
+    )

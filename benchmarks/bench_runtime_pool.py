@@ -20,7 +20,13 @@ from conftest import show
 
 from repro import CampaignConfig, ClusterSpec, run_campaign
 from repro.analysis.report import render_table
-from repro.runtime import CampaignPool, TraceCache, seed_sweep_configs, trace_digest
+from repro.runtime import (
+    CampaignPool,
+    TraceCache,
+    record_benchmark,
+    seed_sweep_configs,
+    trace_digest,
+)
 
 N_SEEDS = 4
 NODES = 32
@@ -107,19 +113,42 @@ def test_runtime_smoke_cache_hit(tmp_path):
     campaign simulates once, then must be served from cache, identically."""
     from repro.runtime import cached_run_campaign
 
+    # Sized so simulate >> cache-load holds with the incremental-index
+    # simulator: a 16-node campaign now simulates in ~0.1s, which is too
+    # close to the npz decode cost (~50ms) for a 10x assertion to be
+    # stable.  128 nodes x 20 days simulates in ~1s and loads in ~60ms.
     cache = TraceCache(root=tmp_path, enabled=True)
-    spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=8)
-    config = CampaignConfig(cluster_spec=spec, duration_days=8, seed=1)
+    spec = ClusterSpec.rsc1_like(n_nodes=128, campaign_days=20)
+    config = CampaignConfig(cluster_spec=spec, duration_days=20, seed=1)
 
     first = cached_run_campaign(config, cache=cache)
     assert cache.stats() == {"hits": 0, "misses": 1, "writes": 1}
     assert first.metadata["runtime"]["source"] == "simulated"
 
-    t0 = time.perf_counter()
-    second = cached_run_campaign(config, cache=cache)
-    load_s = time.perf_counter() - t0
-    assert cache.hits == 1
+    # Best of two timed hits: a single cold load can pay one-off costs
+    # (page cache, numpy npz machinery) that double its wall time.
+    load_s = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        second = cached_run_campaign(config, cache=cache)
+        load_s = min(load_s, time.perf_counter() - t0)
+    assert cache.hits == 2
     assert second.metadata["runtime"]["source"] == "cache"
     assert trace_digest(first) == trace_digest(second)
     sim_s = first.metadata["runtime"]["wall_time_s"]
     assert load_s < sim_s / 10, (load_s, sim_s)
+
+    # Trajectory: the smoke numbers accumulate in BENCH_runtime.json.
+    record_benchmark(
+        "runtime_smoke",
+        {
+            "nodes": 128,
+            "days": 20,
+            "simulate_s": round(sim_s, 4),
+            "cache_load_s": round(load_s, 4),
+            "cache_speedup": round(sim_s / load_s, 1) if load_s > 0 else None,
+            "events_per_sec": round(
+                first.metadata["runtime"]["events_per_sec"], 1
+            ),
+        },
+    )

@@ -82,8 +82,14 @@ def ettr_comparison(
     qos: Optional[QosTier] = QosTier.HIGH,
     min_runs_per_bucket: int = 2,
     use_ground_truth: bool = True,
+    use_columns: bool = True,
 ) -> ETTRComparison:
-    """Compute Fig. 9 from a trace."""
+    """Compute Fig. 9 from a trace.
+
+    ``use_columns`` vectorizes the r_f estimate over the trace's job
+    columns (run grouping stays rowwise — it builds JobRun objects);
+    ``False`` is the rowwise benchmark reference.
+    """
     if assumptions is None:
         assumptions = ETTRAssumptions()
     runs = filter_runs(
@@ -96,11 +102,16 @@ def ettr_comparison(
             "no job runs pass the Fig. 9 cohort filter; relax "
             "min_total_runtime or qos"
         )
-    largest = max(r.n_gpus for r in trace.job_records)
+    columns = trace.columns.jobs if use_columns else None
+    if columns is not None:
+        largest = int(columns.n_gpus.max())
+    else:
+        largest = max(r.n_gpus for r in trace.job_records)
     rf = node_failure_rate(
         trace.job_records,
         min_gpus=min(128, max(8, largest // 2)),
         use_ground_truth=use_ground_truth,
+        columns=columns,
     ).rate
 
     by_bucket: Dict[int, List[JobRun]] = {}

@@ -42,10 +42,18 @@ class FailureRateTable:
 
 
 def attributed_failure_rates(
-    trace: Trace, policy: Optional[AttributionPolicy] = None
+    trace: Trace,
+    policy: Optional[AttributionPolicy] = None,
+    use_columns: bool = True,
 ) -> FailureRateTable:
-    """Compute Fig. 4 from the trace's observables."""
-    attributor = FailureAttributor(trace, policy)
+    """Compute Fig. 4 from the trace's observables.
+
+    ``use_columns`` selects the columnar attribution engine (vectorized
+    health-event index, memoized attribute_all); ``False`` keeps the
+    rowwise engine that rebuilds the attribution per aggregate — the
+    benchmark reference path.
+    """
+    attributor = FailureAttributor(trace, policy, use_columns=use_columns)
     rates = attributor.failure_rate_by_component(
         per_gpu_hours=PER_MILLION_GPU_HOURS
     )

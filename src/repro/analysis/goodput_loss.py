@@ -60,17 +60,24 @@ class GoodputLossAnalysis:
 
 
 def goodput_loss_analysis(
-    trace: Trace, min_loop_interruptions: int = 5
+    trace: Trace, min_loop_interruptions: int = 5, use_columns: bool = True
 ) -> GoodputLossAnalysis:
-    """Compute Fig. 8 from a trace."""
-    losses = lost_goodput_by_size(trace.job_records)
+    """Compute Fig. 8 from a trace.
+
+    ``use_columns`` routes the bucket sums and crash-loop tallies through
+    the trace's job columns; ``False`` is the rowwise reference path.
+    """
+    columns = trace.columns.jobs if use_columns else None
+    losses = lost_goodput_by_size(trace.job_records, columns=columns)
     share = second_order_fraction(losses) if losses else 0.0
     return GoodputLossAnalysis(
         cluster_name=trace.cluster_name,
         losses=losses,
         second_order_share=share,
         crash_loops=find_crash_loops(
-            trace.job_records, min_interruptions=min_loop_interruptions
+            trace.job_records,
+            min_interruptions=min_loop_interruptions,
+            columns=columns,
         ),
         total_gpu_hours_lost=sum(l.total_gpu_hours for l in losses),
     )

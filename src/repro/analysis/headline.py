@@ -65,16 +65,27 @@ class HeadlineNumbers:
         )
 
 
-def headline_numbers(trace: Trace, use_ground_truth: bool = True) -> HeadlineNumbers:
-    """Compute the headline scalars from a trace."""
-    status = job_status_breakdown(trace)
-    sizes = job_size_distribution(trace)
+def headline_numbers(
+    trace: Trace, use_ground_truth: bool = True, use_columns: bool = True
+) -> HeadlineNumbers:
+    """Compute the headline scalars from a trace.
+
+    ``use_columns`` selects the vectorized path through the figure
+    helpers and r_f; ``False`` is the rowwise benchmark reference.
+    """
+    status = job_status_breakdown(trace, use_columns=use_columns)
+    sizes = job_size_distribution(trace, use_columns=use_columns)
     utilization = trace.total_gpu_seconds() / (trace.n_gpus * trace.span_seconds)
-    largest = max(r.n_gpus for r in trace.job_records)
+    columns = trace.columns.jobs if use_columns else None
+    if columns is not None:
+        largest = int(columns.n_gpus.max())
+    else:
+        largest = max(r.n_gpus for r in trace.job_records)
     rf = node_failure_rate(
         trace.job_records,
         min_gpus=min(128, max(8, largest // 2)),
         use_ground_truth=use_ground_truth,
+        columns=columns,
     )
     small_gpu_time = sum(
         f for s, f in sizes.compute_fraction.items() if s <= 8

@@ -62,30 +62,39 @@ class JobSizeDistribution:
 
 
 def job_size_distribution(
-    trace: Trace, profile: Optional[WorkloadProfile] = None
+    trace: Trace,
+    profile: Optional[WorkloadProfile] = None,
+    use_columns: bool = True,
 ) -> JobSizeDistribution:
     """Compute Fig. 6 from a trace (deduplicating attempts to jobs).
 
     Job fractions count each *logical job* once (by job id); compute
     fractions sum GPU time over all attempts, which is what the cluster
     actually spent.
+
+    ``use_columns=True`` (default) deduplicates and buckets with array
+    reductions over the trace's job columns; ``use_columns=False`` keeps
+    the rowwise reference path.
     """
     records = trace.job_records
     if not records:
         raise ValueError("trace has no job records")
-    seen = {}
-    for record in records:
-        seen.setdefault(record.job_id, record.n_gpus)
-    job_hist = histogram_by_bucket(
-        list(seen.values()),
-        [1.0] * len(seen),
-        bucketer=lambda g: power_of_two_bucket(g, minimum=1),
-    )
-    compute_hist = histogram_by_bucket(
-        [r.n_gpus for r in records],
-        [r.gpu_seconds for r in records],
-        bucketer=lambda g: power_of_two_bucket(g, minimum=1),
-    )
+    if use_columns:
+        job_hist, compute_hist = _size_histograms_columnar(trace)
+    else:
+        seen = {}
+        for record in records:
+            seen.setdefault(record.job_id, record.n_gpus)
+        job_hist = histogram_by_bucket(
+            list(seen.values()),
+            [1.0] * len(seen),
+            bucketer=lambda g: power_of_two_bucket(g, minimum=1),
+        )
+        compute_hist = histogram_by_bucket(
+            [r.n_gpus for r in records],
+            [r.gpu_seconds for r in records],
+            bucketer=lambda g: power_of_two_bucket(g, minimum=1),
+        )
     total_jobs = sum(job_hist.values())
     total_compute = sum(compute_hist.values())
     profile_jobs = profile_compute = None
@@ -99,3 +108,24 @@ def job_size_distribution(
         profile_job_fraction=profile_jobs,
         profile_compute_fraction=profile_compute,
     )
+
+
+def _size_histograms_columnar(trace: Trace):
+    """(job_hist, compute_hist) via array reductions, sorted-bucket keyed."""
+    import numpy as np
+
+    from repro.core.columns import next_power_of_two
+
+    cols = trace.columns.jobs
+    # First attempt per job id carries its size (np.unique's return_index
+    # points at first occurrences), matching the rowwise setdefault dedup.
+    _, first_idx = np.unique(cols.job_id, return_index=True)
+    job_buckets = next_power_of_two(cols.n_gpus[first_idx], minimum=1)
+    uniq_j, counts_j = np.unique(job_buckets, return_counts=True)
+    job_hist = {int(b): float(c) for b, c in zip(uniq_j, counts_j)}
+
+    compute_buckets = next_power_of_two(cols.n_gpus, minimum=1)
+    uniq_c, inverse = np.unique(compute_buckets, return_inverse=True)
+    sums = np.bincount(inverse, weights=cols.gpu_seconds, minlength=len(uniq_c))
+    compute_hist = {int(b): float(s) for b, s in zip(uniq_c, sums)}
+    return job_hist, compute_hist

@@ -79,23 +79,35 @@ def mttf_analysis(
     min_gpus_for_rate: int = 128,
     use_ground_truth: bool = True,
     projection_sizes: Sequence[int] = PROJECTION_SIZES,
+    use_columns: bool = True,
 ) -> MTTFAnalysis:
     """Compute Fig. 7 from a trace.
 
     For scaled-down campaigns whose largest jobs do not reach 128 GPUs,
     ``min_gpus_for_rate`` falls back to half the largest observed size.
+    ``use_columns`` selects vectorized bucketing over the trace's job
+    columns; ``False`` is the rowwise benchmark reference.
     """
     records = trace.job_records
     if not records:
         raise ValueError("trace has no job records")
-    largest = max(r.n_gpus for r in records)
+    columns = trace.columns.jobs if use_columns else None
+    if columns is not None:
+        largest = int(columns.n_gpus.max())
+    else:
+        largest = max(r.n_gpus for r in records)
     floor = min_gpus_for_rate
     if largest <= floor:
         floor = max(8, largest // 2)
     rate = node_failure_rate(
-        records, min_gpus=floor, use_ground_truth=use_ground_truth
+        records,
+        min_gpus=floor,
+        use_ground_truth=use_ground_truth,
+        columns=columns,
     )
-    buckets = empirical_mttf_by_size(records, use_ground_truth=use_ground_truth)
+    buckets = empirical_mttf_by_size(
+        records, use_ground_truth=use_ground_truth, columns=columns
+    )
     projection = mttf_projection_curve(list(projection_sizes), rate.rate)
     return MTTFAnalysis(
         cluster_name=trace.cluster_name,

@@ -58,19 +58,42 @@ def failure_rate_timeline(
     trace: Trace,
     window_days: float = None,
     step_days: float = 1.0,
+    use_columns: bool = True,
 ) -> FailureRateTimeline:
     """Compute Fig. 5 from the trace's incident events.
 
     Failure events are ``cluster.incident`` records — the deduplicated,
     detection-level view (one event per incident regardless of how many
     overlapping checks fired).
+
+    ``use_columns=True`` (default) filters incidents and first firings
+    with array masks over the trace's event columns instead of Python
+    loops over every event; ``False`` is the rowwise reference path.
     """
     span_days = trace.span_seconds / DAY
     if window_days is None:
         # The paper's 30-day window on an 11-month span, proportionally.
         window_days = max(1.0, span_days * (30.0 / 330.0))
-    incidents = [e for e in trace.events if e.kind == "cluster.incident"]
-    times = [e.time for e in incidents]
+    if use_columns:
+        times, comp_times_by_name, first_fire = _event_series_columnar(trace)
+    else:
+        incidents = [e for e in trace.events if e.kind == "cluster.incident"]
+        times = [e.time for e in incidents]
+        comp_times_by_name = {
+            component: [
+                e.time for e in incidents if e.data.get("component") == component
+            ]
+            for component in sorted(
+                {e.data.get("component", "?") for e in incidents}
+            )
+        }
+        first_fire = {}
+        for event in trace.events:
+            if event.kind != "health.check_failed":
+                continue
+            check = event.data.get("check")
+            if check not in first_fire:
+                first_fire[check] = event.time
     grid, overall = rolling_rate(
         times,
         window=window_days * DAY,
@@ -80,11 +103,7 @@ def failure_rate_timeline(
         exposure_per_time=trace.n_nodes / DAY / 1000.0,
     )
     by_component: Dict[str, np.ndarray] = {}
-    components = sorted({e.data.get("component", "?") for e in incidents})
-    for component in components:
-        comp_times = [
-            e.time for e in incidents if e.data.get("component") == component
-        ]
+    for component, comp_times in comp_times_by_name.items():
         _g, series = rolling_rate(
             comp_times,
             window=window_days * DAY,
@@ -95,18 +114,10 @@ def failure_rate_timeline(
         )
         by_component[component] = series
 
-    spec_meta = trace.metadata
-    introductions: Dict[str, float] = {}
     # Check introduction times are recoverable from the cluster spec's
     # fractional placement; campaigns store the fractions in metadata when
     # available, else we derive them from first-firing times.
-    first_fire: Dict[str, float] = {}
-    for event in trace.events:
-        if event.kind != "health.check_failed":
-            continue
-        check = event.data.get("check")
-        if check not in first_fire:
-            first_fire[check] = event.time
+    introductions: Dict[str, float] = {}
     for check in ("filesystem_mounts", "ipmi_critical_interrupt"):
         if check in first_fire:
             introductions[check] = first_fire[check] / DAY
@@ -118,3 +129,37 @@ def failure_rate_timeline(
         check_introductions=introductions,
         window_days=window_days,
     )
+
+
+def _event_series_columnar(trace: Trace):
+    """(incident_times, per-component times, first health firings).
+
+    Mirrors the rowwise filters exactly, including the quirk that the
+    ``"?"`` bucket (incidents without a component field) matches only
+    events whose component is literally ``"?"`` — i.e. it stays empty.
+    """
+    ev = trace.columns.events
+    inc = ev.mask_for_kind("cluster.incident")
+    times = ev.time[inc]
+    comp = ev.component_code[inc]
+    table = ev.component_table
+    names = sorted({"?" if c < 0 else table[c] for c in np.unique(comp)})
+    comp_times_by_name: Dict[str, np.ndarray] = {}
+    for name in names:
+        try:
+            code = table.index(name)
+        except ValueError:
+            code = -2  # no event carries this literal string
+        comp_times_by_name[name] = times[comp == code]
+
+    first_fire: Dict[str, float] = {}
+    health = ev.mask_for_kind("health.check_failed")
+    for check in ("filesystem_mounts", "ipmi_critical_interrupt"):
+        try:
+            code = ev.check_table.index(check)
+        except ValueError:
+            continue
+        idx = np.flatnonzero(health & (ev.check_code == code))
+        if len(idx):  # stream order == the rowwise loop's first hit
+            first_fire[check] = float(ev.time[idx[0]])
+    return times, comp_times_by_name, first_fire

@@ -94,6 +94,7 @@ class Campaign:
         self,
         config: CampaignConfig,
         telemetry: Optional["Telemetry"] = None,
+        incremental_indices: bool = True,
     ):
         self.config = config
         #: Observability bundle (repro.obs.Telemetry).  Deliberately NOT a
@@ -103,12 +104,18 @@ class Campaign:
         self.engine = Engine(telemetry=telemetry)
         self.rngs = RngStreams(config.seed)
         self.event_log = EventLog()
+        # incremental_indices=False runs the whole cluster/scheduler stack
+        # on the pre-index O(N)-scan reference path.  Like telemetry it is
+        # a runner argument, not a config field: both paths must produce
+        # bit-identical traces (the benchmarks assert exactly that), so it
+        # must never reach the cache key.
         self.cluster = Cluster(
             config.cluster_spec,
             self.engine,
             self.rngs,
             event_log=self.event_log,
             telemetry=telemetry,
+            incremental_indices=incremental_indices,
         )
         placement = None
         if config.reliability_aware_placement:
@@ -287,11 +294,19 @@ class Campaign:
 
 
 def run_campaign(
-    config: CampaignConfig, telemetry: Optional["Telemetry"] = None
+    config: CampaignConfig,
+    telemetry: Optional["Telemetry"] = None,
+    incremental_indices: bool = True,
 ) -> Trace:
     """One-call convenience: build and run a campaign.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) attaches the tracing/
     metrics layer for this run only; it never changes the simulated trace.
+    ``incremental_indices=False`` selects the brute-force scan reference
+    path (benchmark baseline); the trace is identical either way.
     """
-    return Campaign(config, telemetry=telemetry).run()
+    return Campaign(
+        config,
+        telemetry=telemetry,
+        incremental_indices=incremental_indices,
+    ).run()

@@ -34,6 +34,7 @@ from repro.cluster.health import (
 )
 from repro.cluster.node import Node, NodeState
 from repro.cluster.remediation import RemediationWorkflow
+from repro.core.indices import SortedIntSet
 from repro.sim.engine import Engine
 from repro.sim.events import EventLog
 from repro.sim.rng import RngStreams
@@ -133,6 +134,7 @@ class Cluster:
         rngs: RngStreams,
         event_log: Optional[EventLog] = None,
         telemetry=None,
+        incremental_indices: bool = True,
     ):
         self.spec = spec
         self.engine = engine
@@ -144,6 +146,23 @@ class Cluster:
             i: Node(node_id=i, rack_id=i // SERVERS_PER_RACK, pod_id=i // SERVERS_PER_POD)
             for i in range(spec.n_nodes)
         }
+        #: When False, availability queries fall back to brute-force fleet
+        #: scans (the pre-index reference path, kept for benchmarking and
+        #: for the index-consistency regression tests).  Deliberately NOT a
+        #: CampaignConfig/ClusterSpec field: the query strategy must never
+        #: enter the cache key, because both strategies are required to
+        #: produce bit-identical traces.
+        self.incremental_indices = incremental_indices
+        # Availability indices, updated O(log n) per node transition via
+        # Node.on_transition.  Invariants (see docs/PERFORMANCE.md):
+        #   _schedulable_ids  == {id : state HEALTHY and not quarantined}
+        #   _quarantined_ids  == {id : quarantined}
+        #   _remediation_count == |{id : state REMEDIATION}|
+        self._schedulable_ids = SortedIntSet(self.nodes)
+        self._quarantined_ids = SortedIntSet()
+        self._remediation_count = 0
+        for node in self.nodes.values():
+            node.on_transition = self._on_node_transition
         self.on_node_down: Optional[Callable[[Node, FailureIncident], None]] = None
         self.on_node_available: Optional[Callable[[Node], None]] = None
         self._drain_incident: Dict[int, FailureIncident] = {}
@@ -365,18 +384,65 @@ class Cluster:
             self.on_node_available(node)
 
     # ------------------------------------------------------------------
+    # availability indices
+    # ------------------------------------------------------------------
+    def _on_node_transition(
+        self, node: Node, old_state: NodeState, new_state: NodeState
+    ) -> None:
+        """Node availability changed: patch the indices, O(log n)."""
+        node_id = node.node_id
+        if node.is_schedulable():
+            self._schedulable_ids.add(node_id)
+        else:
+            self._schedulable_ids.discard(node_id)
+        if node.quarantined:
+            self._quarantined_ids.add(node_id)
+        else:
+            self._quarantined_ids.discard(node_id)
+        if old_state is not new_state:
+            if new_state is NodeState.REMEDIATION:
+                self._remediation_count += 1
+            elif old_state is NodeState.REMEDIATION:
+                self._remediation_count -= 1
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def schedulable_nodes(self) -> List[Node]:
         """Healthy, non-quarantined nodes, in id order (deterministic)."""
-        return [n for n in self.nodes.values() if n.is_schedulable()]
+        if not self.incremental_indices:
+            return self._scan_schedulable_nodes()
+        nodes = self.nodes
+        return [nodes[i] for i in self._schedulable_ids]
+
+    def schedulable_node_ids(self) -> SortedIntSet:
+        """The live schedulable-id index (ascending iteration, O(1))."""
+        return self._schedulable_ids
 
     def healthy_node_count(self) -> int:
-        return sum(1 for n in self.nodes.values() if n.state is not NodeState.REMEDIATION)
+        if not self.incremental_indices:
+            return self._scan_healthy_node_count()
+        return self.spec.n_nodes - self._remediation_count
+
+    def quarantined_node_ids(self) -> List[int]:
+        """Nodes currently quarantined by lemon detection, ascending."""
+        if not self.incremental_indices:
+            return [n.node_id for n in self.nodes.values() if n.quarantined]
+        return self._quarantined_ids.as_list()
 
     def lemon_node_ids(self) -> List[int]:
         """Ground-truth lemon ids (for evaluating the detector)."""
         return sorted(spec.node_id for spec in self.lemon_specs)
+
+    # Brute-force reference implementations: the pre-index O(N) scans.
+    # The consistency tests assert index == scan after arbitrary churn,
+    # and legacy mode (incremental_indices=False) serves queries from
+    # them directly.
+    def _scan_schedulable_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.is_schedulable()]
+
+    def _scan_healthy_node_count(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.state is not NodeState.REMEDIATION)
 
     def __repr__(self) -> str:
         return (

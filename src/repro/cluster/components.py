@@ -51,9 +51,13 @@ class FailureClass(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComponentSpec:
-    """A component instance slot inside a node (e.g. GPU index 3)."""
+    """A component instance slot inside a node (e.g. GPU index 3).
+
+    Slotted: the failure injector materializes one spec per component slot
+    per node across the fleet.
+    """
 
     ctype: ComponentType
     index: int

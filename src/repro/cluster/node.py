@@ -64,7 +64,32 @@ class LemonCounters:
 
 
 class Node:
-    """One server: identity, topology position, GPU slots, and counters."""
+    """One server: identity, topology position, GPU slots, and counters.
+
+    ``__slots__``: an RSC-scale fleet holds thousands of long-lived nodes
+    whose attributes are read on every scheduling decision — fixed slots
+    drop the per-instance dict and its lookups.
+
+    Availability transitions (state changes and quarantine flips) notify
+    ``on_transition(node, old_state, new_state)`` when set; the owning
+    :class:`~repro.cluster.cluster.Cluster` uses this to keep its
+    schedulable/quarantined indices in sync without fleet rescans.
+    """
+
+    __slots__ = (
+        "node_id",
+        "rack_id",
+        "pod_id",
+        "state",
+        "total_gpus",
+        "free_gpus",
+        "running_jobs",
+        "gpu_swaps",
+        "counters",
+        "excluded_by_jobs",
+        "_quarantined",
+        "on_transition",
+    )
 
     def __init__(self, node_id: int, rack_id: int, pod_id: int):
         if node_id < 0 or rack_id < 0 or pod_id < 0:
@@ -80,7 +105,28 @@ class Node:
         self.counters = LemonCounters()
         self.excluded_by_jobs: Set[int] = set()
         #: set by lemon detection when the node is quarantined
-        self.quarantined = False
+        self._quarantined = False
+        #: availability observer (set by the owning Cluster; may stay None)
+        self.on_transition = None
+
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
+    @quarantined.setter
+    def quarantined(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._quarantined:
+            return
+        self._quarantined = value
+        if self.on_transition is not None:
+            self.on_transition(self, self.state, self.state)
+
+    def _transition(self, new_state: NodeState) -> None:
+        old = self.state
+        self.state = new_state
+        if self.on_transition is not None and old is not new_state:
+            self.on_transition(self, old, new_state)
 
     @property
     def name(self) -> str:
@@ -126,11 +172,11 @@ class Node:
     def start_drain(self) -> None:
         """Low-severity check failed: finish resident jobs, then remediate."""
         if self.state is NodeState.HEALTHY:
-            self.state = NodeState.DRAINING
+            self._transition(NodeState.DRAINING)
 
     def enter_remediation(self) -> None:
         """Remove the node from capacity; any residual allocation is voided."""
-        self.state = NodeState.REMEDIATION
+        self._transition(NodeState.REMEDIATION)
         self.running_jobs.clear()
         self.free_gpus = self.total_gpus
 
@@ -139,7 +185,7 @@ class Node:
             raise RuntimeError(
                 f"{self.name}: return_to_service from {self.state.value} is invalid"
             )
-        self.state = NodeState.HEALTHY
+        self._transition(NodeState.HEALTHY)
 
     def record_exclusion(self, job_id: int) -> None:
         """A job's submitter listed this node in its exclude list."""

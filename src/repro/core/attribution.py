@@ -16,6 +16,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.jobtypes import JobAttemptRecord, JobState
 from repro.sim.events import EventRecord
 from repro.sim.timeunits import MINUTE
@@ -78,14 +80,43 @@ class AttributedFailure:
 
 
 class FailureAttributor:
-    """Attributes job failures from a trace's health event stream."""
+    """Attributes job failures from a trace's health event stream.
 
-    def __init__(self, trace: Trace, policy: Optional[AttributionPolicy] = None):
+    Two engines, same answers:
+
+    * ``use_columns=True`` (default) indexes the ``health.check_failed``
+      events from the trace's :class:`~repro.core.columns.EventColumns`
+      — one vectorized pass over typed arrays instead of a Python loop
+      over every event — and memoizes :meth:`attribute_all`, which the
+      aggregate views each re-used to recompute from scratch.
+    * ``use_columns=False`` keeps the original rowwise build and rescan
+      semantics intact as the benchmark reference path.
+
+    The candidate ranking (severity, then component priority, with
+    first-of-min tie-breaking over windows concatenated in ``node_ids``
+    order) is replicated exactly, so both engines return identical
+    :class:`AttributedFailure` lists.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        policy: Optional[AttributionPolicy] = None,
+        use_columns: bool = True,
+    ):
         self.trace = trace
         self.policy = policy if policy is not None else AttributionPolicy()
+        self._use_columns = use_columns
+        self._memo_all: Optional[List[AttributedFailure]] = None
+        if use_columns:
+            self._build_columnar_index()
+        else:
+            self._build_rowwise_index()
+
+    def _build_rowwise_index(self) -> None:
         self._events_by_node: Dict[int, List[Tuple[float, EventRecord]]] = {}
         self._times_by_node: Dict[int, List[float]] = {}
-        for event in trace.events:
+        for event in self.trace.events:
             if event.kind != "health.check_failed":
                 continue
             node_id = event.data.get("node_id")
@@ -95,6 +126,53 @@ class FailureAttributor:
         for node_id, pairs in self._events_by_node.items():
             pairs.sort(key=lambda p: p[0])
             self._times_by_node[node_id] = [t for t, _e in pairs]
+
+    def _build_columnar_index(self) -> None:
+        """Group health.check_failed events by node from the event columns.
+
+        ``np.lexsort((time, node))`` is stable, so within a node events
+        keep stream order for equal times — the same order the rowwise
+        build's stable per-node time sort produces.
+        """
+        ev = self.trace.columns.events
+        idx = np.flatnonzero(
+            ev.mask_for_kind("health.check_failed") & (ev.node_id >= 0)
+        )
+        nodes = ev.node_id[idx]
+        times = ev.time[idx]
+        order = np.lexsort((times, nodes))
+        nodes = nodes[order]
+        self._ev_times = times[order]
+        self._ev_comp = ev.component_code[idx][order]
+        self._ev_check = ev.check_code[idx][order]
+        severity = ev.severity[idx][order].astype(np.int64)
+        # data.get("severity", 0): an absent severity (-1 sentinel) ranks as 0.
+        severity = np.where(severity < 0, 0, severity)
+        # Per-event rank key packing (-severity, priority): lower is better,
+        # and np.argmin returns the first minimum — matching Python min().
+        priority = self.policy.component_priority
+        pri_by_code = np.empty(len(ev.component_table) + 1, dtype=np.int64)
+        pri_by_code[0] = len(priority)  # slot for code -1 (component absent)
+        for code, name in enumerate(ev.component_table):
+            try:
+                pri_by_code[code + 1] = priority.index(name)
+            except ValueError:
+                pri_by_code[code + 1] = len(priority)
+        self._rank_key = -severity * (len(priority) + 1) + pri_by_code[
+            self._ev_comp + 1
+        ]
+        # node id -> contiguous [start, stop) range in the sorted arrays.
+        self._node_ranges: Dict[int, Tuple[int, int]] = {}
+        if len(nodes):
+            starts = np.flatnonzero(np.diff(nodes)) + 1
+            bounds = np.concatenate(([0], starts, [len(nodes)]))
+            for i, node_id in enumerate(nodes[bounds[:-1]]):
+                self._node_ranges[int(node_id)] = (
+                    int(bounds[i]),
+                    int(bounds[i + 1]),
+                )
+        self._component_table = ev.component_table
+        self._check_table = ev.check_table
 
     # ------------------------------------------------------------------
     def _window_events(
@@ -111,8 +189,25 @@ class FailureAttributor:
         stop = bisect.bisect_right(times, hi)
         return [pairs[i][1] for i in range(start, stop)]
 
+    def _window_range(self, node_id: int, end_time: float) -> Tuple[int, int]:
+        """Columnar twin of :meth:`_window_events`: an index range."""
+        rng = self._node_ranges.get(node_id)
+        if rng is None:
+            return (0, 0)
+        lo, hi = rng
+        t = self._ev_times
+        start = lo + int(
+            np.searchsorted(t[lo:hi], end_time - self.policy.lookback, "left")
+        )
+        stop = lo + int(
+            np.searchsorted(t[lo:hi], end_time + self.policy.lookahead, "right")
+        )
+        return (start, stop)
+
     def attribute_record(self, record: JobAttemptRecord) -> AttributedFailure:
         """Diagnose one failing attempt from observable health events."""
+        if self._use_columns:
+            return self._attribute_record_columnar(record)
         events: List[EventRecord] = []
         for node_id in record.node_ids:
             events.extend(self._window_events(node_id, record.end_time))
@@ -145,12 +240,64 @@ class FailureAttributor:
             attributed=True,
         )
 
+    def _attribute_record_columnar(
+        self, record: JobAttemptRecord
+    ) -> AttributedFailure:
+        segments = []
+        for node_id in record.node_ids:
+            start, stop = self._window_range(node_id, record.end_time)
+            if stop > start:
+                segments.append(np.arange(start, stop))
+        if not segments:
+            return AttributedFailure(
+                record=record,
+                cause_component=None,
+                checks=(),
+                components_seen=(),
+                attributed=False,
+            )
+        # Candidates concatenate in node_ids order (then time order within a
+        # node), so argmin's first-of-min matches the rowwise min() exactly.
+        window = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        best = int(window[np.argmin(self._rank_key[window])])
+        best_comp = int(self._ev_comp[best])
+        comp_table = self._component_table
+        check_table = self._check_table
+        return AttributedFailure(
+            record=record,
+            cause_component=None if best_comp < 0 else comp_table[best_comp],
+            checks=tuple(
+                sorted(
+                    "?" if code < 0 else check_table[code]
+                    for code in np.unique(self._ev_check[window])
+                )
+            ),
+            components_seen=tuple(
+                sorted(
+                    "?" if code < 0 else comp_table[code]
+                    for code in np.unique(self._ev_comp[window])
+                )
+            ),
+            attributed=True,
+        )
+
     def attribute_all(self) -> List[AttributedFailure]:
-        """Attribute every candidate-state attempt in the trace."""
+        """Attribute every candidate-state attempt in the trace.
+
+        Memoized on the columnar engine: the aggregate views below all
+        re-enter here, and the attribution join is by far their dominant
+        cost.  The rowwise engine recomputes every call, preserving the
+        pre-columnar baseline for benchmarks.
+        """
+        if self._use_columns and self._memo_all is not None:
+            return self._memo_all
         out = []
+        candidates = self.policy.candidate_states
         for record in self.trace.job_records:
-            if record.state in self.policy.candidate_states:
+            if record.state in candidates:
                 out.append(self.attribute_record(record))
+        if self._use_columns:
+            self._memo_all = out
         return out
 
     # ------------------------------------------------------------------

@@ -15,11 +15,16 @@ times, preempting 548 jobs.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.jobtypes import JobAttemptRecord, JobState
 from repro.core.mttf import size_bucket
 from repro.sim.timeunits import HOUR, MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.columns import JobColumns
 
 #: Expected wasted work per interruption under hourly checkpointing.
 DEFAULT_LOST_WORK_CAP = 30 * MINUTE
@@ -52,6 +57,7 @@ def _hw_instigator_jobs(records: List[JobAttemptRecord]) -> Set[int]:
 def lost_goodput_by_size(
     records: Iterable[JobAttemptRecord],
     lost_work_cap: float = DEFAULT_LOST_WORK_CAP,
+    columns: Optional["JobColumns"] = None,
 ) -> List[GoodputLoss]:
     """Fig. 8: lost goodput by instigating-failure job size.
 
@@ -59,7 +65,13 @@ def lost_goodput_by_size(
     preemptions whose instigator had a hardware interruption — are charged
     to the *preempted* job's own size bucket on the x-axis, matching the
     figure's per-size stacking of total cluster impact.
+
+    With ``columns`` the hw-job join and per-bucket sums run vectorized
+    over the typed arrays; the result is identical to the rowwise loop
+    (``np.bincount`` accumulates weights in array order).
     """
+    if columns is not None:
+        return _lost_goodput_by_size_columnar(columns, lost_work_cap)
     records = list(records)
     hw_jobs = _hw_instigator_jobs(records)
     losses: Dict[int, Dict[str, float]] = {}
@@ -95,6 +107,53 @@ def lost_goodput_by_size(
     ]
 
 
+def _lost_goodput_by_size_columnar(
+    columns: "JobColumns", lost_work_cap: float
+) -> List[GoodputLoss]:
+    from repro.core.columns import STATE_CODE_PREEMPTED
+
+    if len(columns) == 0:
+        return []
+    direct = columns.is_hw_interruption
+    hw_jobs = np.unique(columns.job_id[direct])
+    # "& ~direct" mirrors the rowwise elif: an hw-interrupted row is never
+    # double-charged as second-order even if it is also a PREEMPTED row.
+    second = (
+        (columns.state_code == STATE_CODE_PREEMPTED)
+        & ~columns.instigator_null
+        & np.isin(columns.instigator_job_id, hw_jobs)
+        & ~direct
+    )
+    loss = np.minimum(columns.runtime, lost_work_cap) * columns.n_gpus.astype(
+        np.float64
+    )
+    buckets = columns.size_bucket()
+    uniq, inverse = np.unique(buckets, return_inverse=True)
+    n = len(uniq)
+    direct_sum = np.bincount(
+        inverse, weights=np.where(direct, loss, 0.0), minlength=n
+    )
+    second_sum = np.bincount(
+        inverse, weights=np.where(second, loss, 0.0), minlength=n
+    )
+    n_direct = np.bincount(inverse[direct], minlength=n)
+    n_second = np.bincount(inverse[second], minlength=n)
+    out = []
+    for i, gpus in enumerate(uniq):  # np.unique is sorted ascending
+        if n_direct[i] == 0 and n_second[i] == 0:
+            continue  # bucket untouched by losses — rowwise never creates it
+        out.append(
+            GoodputLoss(
+                gpus=int(gpus),
+                direct_gpu_hours=float(direct_sum[i]) / HOUR,
+                second_order_gpu_hours=float(second_sum[i]) / HOUR,
+                n_direct=int(n_direct[i]),
+                n_second_order=int(n_second[i]),
+            )
+        )
+    return out
+
+
 def second_order_fraction(losses: Iterable[GoodputLoss]) -> float:
     """Share of total lost goodput due to cascaded preemptions (~16%)."""
     losses = list(losses)
@@ -118,13 +177,20 @@ class CrashLoop:
 def find_crash_loops(
     records: Iterable[JobAttemptRecord],
     min_interruptions: int = 5,
+    columns: Optional["JobColumns"] = None,
 ) -> List[CrashLoop]:
     """Identify requeue loops and tally the churn they caused.
 
     ``preemptions_caused`` counts PREEMPTED rows whose instigator is the
     looping job; ``gpus_preempted`` sums their GPU counts (the paper's
     "548 preemptions (over 7k GPUs)" style of accounting).
+
+    With ``columns`` the per-job tallies run as grouped array reductions
+    instead of an O(loops x records) rescan; ordering matches the rowwise
+    path (first-hw-occurrence order, then a stable sort by interruptions).
     """
+    if columns is not None:
+        return _find_crash_loops_columnar(columns, min_interruptions)
     records = list(records)
     hw_counts: Dict[int, int] = {}
     gpus: Dict[int, int] = {}
@@ -148,6 +214,50 @@ def find_crash_loops(
                 hw_interruptions=count,
                 preemptions_caused=len(caused),
                 gpus_preempted=sum(r.n_gpus for r in caused),
+            )
+        )
+    loops.sort(key=lambda l: -l.hw_interruptions)
+    return loops
+
+
+def _find_crash_loops_columnar(
+    columns: "JobColumns", min_interruptions: int
+) -> List[CrashLoop]:
+    from repro.core.columns import STATE_CODE_PREEMPTED
+
+    if len(columns) == 0:
+        return []
+    hw = columns.is_hw_interruption
+    hw_ids = columns.job_id[hw]
+    if len(hw_ids) == 0:
+        return []
+    uniq, first_idx, counts = np.unique(
+        hw_ids, return_index=True, return_counts=True
+    )
+    # Rowwise dicts key jobs in first-hw-occurrence order; recover it so the
+    # stable sort below breaks interruption-count ties identically.
+    order = np.argsort(first_idx, kind="stable")
+    uniq, first_idx, counts = uniq[order], first_idx[order], counts[order]
+    # gpus[job_id] is overwritten per hw row rowwise; n_gpus is constant per
+    # job so the first occurrence is equivalent to the last.
+    gpus_by_job = columns.n_gpus[hw][first_idx]
+
+    pre = (columns.state_code == STATE_CODE_PREEMPTED) & ~columns.instigator_null
+    instigators = columns.instigator_job_id[pre]
+    pre_gpus = columns.n_gpus[pre]
+
+    loops = []
+    for job_id, count, n_gpus in zip(uniq, counts, gpus_by_job):
+        if count < min_interruptions:
+            continue
+        caused = instigators == job_id
+        loops.append(
+            CrashLoop(
+                job_id=int(job_id),
+                n_gpus=int(n_gpus),
+                hw_interruptions=int(count),
+                preemptions_caused=int(np.count_nonzero(caused)),
+                gpus_preempted=int(pre_gpus[caused].sum()),
             )
         )
     loops.sort(key=lambda l: -l.hw_interruptions)

@@ -6,10 +6,13 @@ config — to a serialized :class:`~repro.workload.trace.Trace`, so *any*
 call site (benchmarks, examples, tests, the CLI) that asks for a
 previously simulated configuration loads it instead of re-simulating.
 
-Layout: ``<root>/v<CACHE_FORMAT_VERSION>/<digest[:2]>/<digest>.pkl``.
-Each entry stores the trace as its exact ``to_dict()`` form plus the
-format/schema stamps; a stamp mismatch or unreadable file is treated as a
-miss (and the entry discarded), never as an error.
+Layout: ``<root>/v<CACHE_FORMAT_VERSION>/<digest[:2]>/<digest>.npz``
+(entry format v2: compressed columnar blocks, no pickle) with transparent
+fallback to the legacy ``<digest>.pkl`` pickle entries written by entry
+format v1 — old cache directories keep serving hits, and the cache key
+(``config_digest``) is unchanged.  Each entry stores the format/schema
+stamps; a stamp mismatch or unreadable file is treated as a miss (and the
+entry discarded), never as an error.
 
 Control knobs:
 
@@ -26,11 +29,19 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
+from repro.core.columns import ColumnarTrace
 from repro.runtime.hashing import CACHE_FORMAT_VERSION, config_digest
 from repro.workload.trace import TRACE_SCHEMA_VERSION, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.campaign import CampaignConfig
+
+#: On-disk *entry* format (how a single cache file is encoded): 1 = pickle
+#: of the ``to_dict()`` payload, 2 = pickle-free columnar npz.  Deliberately
+#: separate from ``CACHE_FORMAT_VERSION`` (part of the cache *key*): bumping
+#: the entry encoding must not invalidate digests or old directories —
+#: v2 readers still load v1 entries.
+CACHE_ENTRY_VERSION = 2
 
 ENV_VAR = "REPRO_TRACE_CACHE"
 _DISABLE_VALUES = frozenset({"off", "0", "no", "none", "false", "disabled"})
@@ -94,44 +105,72 @@ class TraceCache:
         return self._entry_path(digest)
 
     def _entry_path(self, digest: str) -> Path:
+        """Path of the primary (entry-format v2, npz) cache file."""
         return (
             self.root
             / f"v{CACHE_FORMAT_VERSION}"
             / digest[:2]
-            / f"{digest}.pkl"
+            / f"{digest}.npz"
         )
+
+    def _legacy_path(self, digest: str) -> Path:
+        """Path of an entry-format v1 pickle written by older builds."""
+        return self._entry_path(digest).with_suffix(".pkl")
 
     # ------------------------------------------------------------------
     # read / write
     # ------------------------------------------------------------------
+    def _load_npz_entry(self, path: Path, digest: str) -> Trace:
+        stamps = ColumnarTrace.read_extra(path) or {}
+        if (
+            stamps.get("cache_format") != CACHE_FORMAT_VERSION
+            or stamps.get("trace_schema") != TRACE_SCHEMA_VERSION
+            or stamps.get("digest") != digest
+        ):
+            raise ValueError("stale or mismatched cache entry")
+        return ColumnarTrace.load_npz(path).to_trace()
+
+    @staticmethod
+    def _load_legacy_entry(path: Path, digest: str) -> Trace:
+        with path.open("rb") as fh:
+            entry = pickle.load(fh)
+        if (
+            entry.get("cache_format") != CACHE_FORMAT_VERSION
+            or entry.get("trace_schema") != TRACE_SCHEMA_VERSION
+            or entry.get("digest") != digest
+        ):
+            raise ValueError("stale or mismatched cache entry")
+        return Trace.from_dict(entry["trace"])
+
     def get(self, config: "CampaignConfig") -> Optional[Trace]:
-        """Return the cached trace for ``config``, or None on a miss."""
+        """Return the cached trace for ``config``, or None on a miss.
+
+        Entry-format v2 (npz) entries are preferred; a legacy v1 pickle
+        under the same digest still serves a hit, so cache directories
+        written by older builds remain valid.
+        """
         if not self.enabled:
             return None
         digest = config_digest(config)
-        path = self._entry_path(digest)
-        try:
-            with path.open("rb") as fh:
-                entry = pickle.load(fh)
-            if (
-                entry.get("cache_format") != CACHE_FORMAT_VERSION
-                or entry.get("trace_schema") != TRACE_SCHEMA_VERSION
-                or entry.get("digest") != digest
-            ):
-                raise ValueError("stale or mismatched cache entry")
-            trace = Trace.from_dict(entry["trace"])
-        except FileNotFoundError:
-            self.misses += 1
-            self._observe("miss", digest)
-            return None
-        except Exception:
-            # Corrupt or stale entry: drop it and treat as a miss.
-            self.misses += 1
-            self._observe("miss", digest)
+        trace: Optional[Trace] = None
+        for path, loader in (
+            (self._entry_path(digest), self._load_npz_entry),
+            (self._legacy_path(digest), self._load_legacy_entry),
+        ):
             try:
-                path.unlink()
-            except OSError:
-                pass
+                trace = loader(path, digest)
+                break
+            except FileNotFoundError:
+                continue
+            except Exception:
+                # Corrupt or stale entry: drop it and keep looking.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        if trace is None:
+            self.misses += 1
+            self._observe("miss", digest)
             return None
         self.hits += 1
         self._observe("hit", digest)
@@ -141,24 +180,28 @@ class TraceCache:
         return trace
 
     def put(self, config: "CampaignConfig", trace: Trace) -> Optional[Path]:
-        """Store ``trace`` under ``config``'s digest (atomic replace)."""
+        """Store ``trace`` under ``config``'s digest (atomic replace).
+
+        Writes an entry-format v2 npz: the trace's columnar blocks plus
+        the format/schema stamps, compressed, with no pickle anywhere.
+        """
         if not self.enabled:
             return None
         digest = config_digest(config)
         path = self._entry_path(digest)
-        entry: Dict[str, Any] = {
+        stamps: Dict[str, Any] = {
+            "cache_entry": CACHE_ENTRY_VERSION,
             "cache_format": CACHE_FORMAT_VERSION,
             "trace_schema": TRACE_SCHEMA_VERSION,
             "digest": digest,
-            "trace": trace.to_dict(),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                trace.columns.save_npz(fh, extra=stamps)
             os.replace(tmp_name, path)
         except BaseException:
             try:

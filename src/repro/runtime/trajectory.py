@@ -1,0 +1,115 @@
+"""BENCH_runtime.json — the repository's machine-readable perf trajectory.
+
+Benchmarks that make a quantitative performance claim (cache-hit speedup,
+columnar pipeline speedup, events/sec) append one record here so the
+numbers accumulate across sessions instead of scrolling away in pytest
+output.  The file lives at the repository root and is a single JSON
+document::
+
+    {
+      "format_version": 1,
+      "records": [
+        {
+          "bench": "columnar_trace",        # stable benchmark name
+          "unix_time": 1754000000.0,        # time.time() at record
+          "timestamp": "2026-08-05T12:00:00+00:00",  # same, ISO-8601 UTC
+          "metrics": {...}                  # benchmark-specific scalars
+        },
+        ...
+      ]
+    }
+
+``metrics`` is flat JSON (numbers, strings, booleans); each benchmark
+documents its own keys.  Appends are atomic (temp file + ``os.replace``)
+and tolerant: a missing or unparsable file restarts the trajectory rather
+than failing the benchmark that tried to record into it.
+"""
+
+import json
+import os
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+TRAJECTORY_FORMAT_VERSION = 1
+BENCH_RUNTIME_FILENAME = "BENCH_runtime.json"
+
+#: Repository root: src/repro/runtime/trajectory.py -> three parents up
+#: from the package directory.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_runtime.json`` at the repository root."""
+    return _REPO_ROOT / BENCH_RUNTIME_FILENAME
+
+
+def load_trajectory(path: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
+    """Read the trajectory document; an empty one if absent or corrupt."""
+    target = Path(path) if path is not None else default_trajectory_path()
+    try:
+        with open(target, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return {"format_version": TRAJECTORY_FORMAT_VERSION, "records": []}
+    if not isinstance(doc, dict) or not isinstance(doc.get("records"), list):
+        return {"format_version": TRAJECTORY_FORMAT_VERSION, "records": []}
+    return doc
+
+
+def record_benchmark(
+    bench: str,
+    metrics: Dict[str, Any],
+    path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Append one benchmark record and return it.
+
+    ``metrics`` must be JSON-serializable; numpy scalars are coerced via
+    ``float``/``int`` by json's default handling being bypassed — pass
+    plain Python numbers.  The write is atomic so concurrent benchmark
+    processes cannot interleave partial JSON.
+    """
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    target = Path(path) if path is not None else default_trajectory_path()
+    doc = load_trajectory(target)
+    now = time.time()
+    record = {
+        "bench": bench,
+        "unix_time": now,
+        "timestamp": datetime.fromtimestamp(now, tz=timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "metrics": dict(metrics),
+    }
+    doc["format_version"] = TRAJECTORY_FORMAT_VERSION
+    doc["records"].append(record)
+    payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=".bench-runtime-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return record
+
+
+def latest_record(
+    bench: str, path: Optional[Union[str, Path]] = None
+) -> Optional[Dict[str, Any]]:
+    """The most recent record for ``bench``, or None."""
+    doc = load_trajectory(path)
+    for record in reversed(doc["records"]):
+        if isinstance(record, dict) and record.get("bench") == bench:
+            return record
+    return None

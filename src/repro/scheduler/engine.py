@@ -83,7 +83,12 @@ class SlurmLikeScheduler:
         self.pending: List[Job] = []
         self.running: Set[int] = set()
         self.records: List[JobAttemptRecord] = []
-        self.index = FreeNodeIndex(cluster.nodes)
+        # The placement index follows the cluster's query strategy, so a
+        # legacy-mode cluster benchmarks the whole pre-index stack.
+        self.index = FreeNodeIndex(
+            cluster.nodes,
+            incremental=getattr(cluster, "incremental_indices", True),
+        )
         self._pass_pending = False
         #: invoked when a job COMPLETEs (used for job-run continuations:
         #: long training runs submit their next <=7-day segment here).
@@ -171,13 +176,20 @@ class SlurmLikeScheduler:
         self.pending.extend(still_pending)
 
     def _try_preempt_for(self, job: Job, now: float) -> Optional[List[Node]]:
+        cluster = self.cluster
+        candidate_ids = (
+            cluster.schedulable_node_ids()
+            if getattr(cluster, "incremental_indices", True)
+            else None
+        )
         plan = self.preemption.plan(
             pending=job,
-            nodes=self.cluster.nodes,
+            nodes=cluster.nodes,
             jobs=self.jobs,
             now=now,
             already_free=self.index.free_full_node_count(),
             excluded=job.excluded_nodes,
+            candidate_ids=candidate_ids,
         )
         if plan is None:
             return None

@@ -11,29 +11,86 @@ Two regimes, as in the real cluster:
 
 The :class:`FreeNodeIndex` keeps allocation queries O(1)-ish.  It tolerates
 stale entries (a node that drained or failed since insertion) by
-re-validating against the live node object at pop time — cheaper and less
+re-validating against the live node object at query time — cheaper and less
 error-prone than keeping every state transition synchronously mirrored.
+
+Iteration order is part of the determinism contract: buckets yield node
+ids ascending, and pods yield by (most free servers, lowest pod id).  The
+default (incremental) mode maintains those orders as sorted structures
+updated on refresh/remove, so no ``sorted()`` runs inside the allocation
+loop; ``incremental=False`` preserves the original per-query ``sorted()``
+reference path, which the order-regression tests and benchmarks compare
+against — both modes must make identical choices.
 """
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.components import GPUS_PER_NODE
 from repro.cluster.node import Node
+from repro.core.indices import SortedIntSet
 
 
 class FreeNodeIndex:
     """Tracks free GPU capacity: per-free-count buckets + per-pod full nodes."""
 
-    def __init__(self, nodes: Dict[int, Node]):
+    def __init__(self, nodes: Dict[int, Node], incremental: bool = True):
         self._nodes = nodes
-        # bucket[k] = node ids believed to have exactly k free GPUs (1..8)
-        self._buckets: List[Set[int]] = [set() for _ in range(GPUS_PER_NODE + 1)]
+        self._incremental = incremental
+        if incremental:
+            # bucket[k] = node ids with exactly k free GPUs, kept sorted
+            self._buckets: List = [SortedIntSet() for _ in range(GPUS_PER_NODE + 1)]
+            # pod id -> its fully free nodes, kept sorted; keys pre-seeded
+            # in ascending pod order so plain dict iteration matches the
+            # legacy first-touch (node-id) order.
+            self._full_by_pod: Dict[int, SortedIntSet] = {}
+            for node in nodes.values():
+                self._full_by_pod.setdefault(node.pod_id, SortedIntSet())
+            # (-free_count, pod_id) tuples, sorted — the pod fill order —
+            # for pods with at least one fully free node.
+            self._pod_order: List[Tuple[int, int]] = []
+            self._full_count = 0
+        else:
+            self._buckets = [set() for _ in range(GPUS_PER_NODE + 1)]
+            self._full_by_pod = defaultdict(set)
         self._bucket_of: Dict[int, int] = {}
-        self._full_by_pod: Dict[int, Set[int]] = defaultdict(set)
         for node in nodes.values():
             self.refresh(node.node_id)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _pod_count_changed(self, pod_id: int, old: int, new: int) -> None:
+        """Re-slot a pod in the fill order after its full-count changed."""
+        order = self._pod_order
+        if old > 0:
+            order.remove((-old, pod_id))
+        if new > 0:
+            insort(order, (-new, pod_id))
+
+    def _drop_full(self, node: Node) -> None:
+        pod = self._full_by_pod[node.pod_id]
+        if self._incremental:
+            old = len(pod)
+            pod.discard(node.node_id)
+            if len(pod) != old:
+                self._full_count -= 1
+                self._pod_count_changed(node.pod_id, old, old - 1)
+        else:
+            pod.discard(node.node_id)
+
+    def _add_full(self, node: Node) -> None:
+        pod = self._full_by_pod[node.pod_id]
+        if self._incremental:
+            old = len(pod)
+            pod.add(node.node_id)
+            if len(pod) != old:
+                self._full_count += 1
+                self._pod_count_changed(node.pod_id, old, old + 1)
+        else:
+            pod.add(node.node_id)
 
     def refresh(self, node_id: int) -> None:
         """Re-index a node after any capacity or state change."""
@@ -42,14 +99,14 @@ class FreeNodeIndex:
         if old is not None:
             self._buckets[old].discard(node_id)
             if old == GPUS_PER_NODE:
-                self._full_by_pod[node.pod_id].discard(node_id)
+                self._drop_full(node)
         if not node.is_schedulable() or node.free_gpus == 0:
             return
         k = node.free_gpus
         self._buckets[k].add(node_id)
         self._bucket_of[node_id] = k
         if k == GPUS_PER_NODE:
-            self._full_by_pod[node.pod_id].add(node_id)
+            self._add_full(node)
 
     def remove(self, node_id: int) -> None:
         """Drop a node from the index (failed, draining, or quarantined)."""
@@ -58,60 +115,117 @@ class FreeNodeIndex:
         if old is not None:
             self._buckets[old].discard(node_id)
             if old == GPUS_PER_NODE:
-                self._full_by_pod[node.pod_id].discard(node_id)
+                self._drop_full(node)
 
-    def _validated(self, node_id: int, gpus: int) -> Optional[Node]:
-        node = self._nodes[node_id]
-        if node.can_host(gpus):
-            return node
-        self.refresh(node_id)  # drop/reposition the stale entry
-        return None
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _iter_bucket(self, k: int) -> Iterable[int]:
+        """Bucket ``k``'s node ids, ascending (pre-sorted in incremental
+        mode; sorted per call on the legacy path)."""
+        bucket = self._buckets[k]
+        return bucket if self._incremental else sorted(bucket)
+
+    def _iter_pods(self) -> List[Tuple[int, Iterable[int]]]:
+        """(pod_id, full node ids ascending) by (most free, lowest pod)."""
+        if self._incremental:
+            return [
+                (pod_id, self._full_by_pod[pod_id])
+                for _neg_count, pod_id in list(self._pod_order)
+            ]
+        return [
+            (pod_id, sorted(node_ids))
+            for pod_id, node_ids in sorted(
+                self._full_by_pod.items(),
+                key=lambda item: (-len(item[1]), item[0]),
+            )
+        ]
+
+    def _flush_stale(self, stale: Optional[List[int]]) -> None:
+        """Re-index entries found invalid during a query.
+
+        Queries iterate the live sorted structures, so repositioning is
+        deferred to the end of each scan instead of mutating mid-iteration
+        (the legacy path iterated throwaway ``sorted()`` snapshots, which
+        made immediate refresh safe; the choice sequence is identical).
+        """
+        if stale:
+            for node_id in stale:
+                self.refresh(node_id)
 
     def find_partial(self, gpus: int, excluded: Set[int]) -> Optional[Node]:
         """Best-fit node for a sub-server job (smallest adequate bucket)."""
+        nodes = self._nodes
         for k in range(gpus, GPUS_PER_NODE + 1):
-            for node_id in sorted(self._buckets[k]):
+            found = None
+            stale: Optional[List[int]] = None
+            for node_id in self._iter_bucket(k):
                 if node_id in excluded:
                     continue
-                node = self._validated(node_id, gpus)
-                if node is not None:
-                    return node
+                node = nodes[node_id]
+                if node.can_host(gpus):
+                    found = node
+                    break
+                if stale is None:
+                    stale = []
+                stale.append(node_id)
+            self._flush_stale(stale)
+            if found is not None:
+                return found
         return None
 
     def find_full_nodes(
         self, n_nodes: int, excluded: Set[int]
     ) -> Optional[List[Node]]:
         """Pick ``n_nodes`` fully free servers, packing the fullest pods."""
-        pods = sorted(
-            self._full_by_pod.items(),
-            key=lambda item: (-len(item[1]), item[0]),
-        )
+        nodes = self._nodes
         chosen: List[Node] = []
-        for _pod_id, node_ids in pods:
-            for node_id in sorted(node_ids):
+        stale: Optional[List[int]] = None
+        for _pod_id, node_ids in self._iter_pods():
+            for node_id in node_ids:
                 if node_id in excluded:
                     continue
-                node = self._validated(node_id, GPUS_PER_NODE)
-                if node is not None:
-                    chosen.append(node)
-                    if len(chosen) == n_nodes:
-                        return chosen
+                node = nodes[node_id]
+                if not node.can_host(GPUS_PER_NODE):
+                    if stale is None:
+                        stale = []
+                    stale.append(node_id)
+                    continue
+                chosen.append(node)
+                if len(chosen) == n_nodes:
+                    self._flush_stale(stale)
+                    return chosen
+        self._flush_stale(stale)
         return None
 
     def free_full_node_count(self) -> int:
         """Upper bound on fully free servers (may include stale entries)."""
+        if self._incremental:
+            return self._full_count
         return sum(len(s) for s in self._full_by_pod.values())
 
     def full_node_candidates(self, excluded: Set[int]) -> List[Node]:
-        """All validated fully-free servers (for custom selection orders)."""
+        """All validated fully-free servers (for custom selection orders).
+
+        Pods iterate in ascending pod id (dict order: pre-seeded in
+        incremental mode, first-touch on the legacy path — identical for
+        id-ordered fleets), nodes ascending within each pod.
+        """
+        nodes = self._nodes
         out: List[Node] = []
-        for node_ids in self._full_by_pod.values():
-            for node_id in sorted(node_ids):
+        stale: Optional[List[int]] = None
+        for pod in self._full_by_pod.values():
+            for node_id in pod if self._incremental else sorted(pod):
                 if node_id in excluded:
                     continue
-                node = self._validated(node_id, GPUS_PER_NODE)
-                if node is not None:
-                    out.append(node)
+                node = nodes[node_id]
+                if not node.can_host(GPUS_PER_NODE):
+                    if stale is None:
+                        stale = []
+                    stale.append(node_id)
+                    continue
+                out.append(node)
+        self._flush_stale(stale)
         return out
 
 

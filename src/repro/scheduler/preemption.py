@@ -11,7 +11,7 @@ effect).
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.components import GPUS_PER_NODE
 from repro.cluster.node import Node
@@ -51,6 +51,7 @@ class PreemptionPolicy:
         now: float,
         already_free: int,
         excluded: Set[int],
+        candidate_ids: Optional[Iterable[int]] = None,
     ) -> Optional[PreemptionPlan]:
         """Find victims so that ``pending`` can start; None if impossible.
 
@@ -59,6 +60,10 @@ class PreemptionPolicy:
         liberable only if *every* resident job is preemptible — gang
         semantics mean killing one job frees all its nodes, so we work at
         node granularity and dedupe victims.
+
+        ``candidate_ids``, when given, must be the schedulable node ids in
+        ascending order (the cluster's incremental index); it replaces the
+        full-fleet scan with an identical candidate sequence.
         """
         if pending.n_gpus < GPUS_PER_NODE:
             needed_nodes = 1
@@ -69,19 +74,63 @@ class PreemptionPolicy:
             return PreemptionPlan(victims=[], freed_nodes=[])
 
         candidates: List[Tuple[Tuple[int, int], Node]] = []
-        for node in nodes.values():
-            if node.node_id in excluded or not node.is_schedulable():
-                continue
-            if not node.running_jobs or node.fully_free:
-                continue
-            residents = [jobs[jid] for jid in node.running_jobs]
-            if not all(
-                self.job_is_preemptible(job, pending, now) for job in residents
-            ):
-                continue
-            min_qos = min(int(job.qos) for job in residents)
-            held = node.total_gpus - node.free_gpus
-            candidates.append(((min_qos, held), node))
+        if candidate_ids is not None:
+            # Ascending schedulable ids == dict order minus unschedulable
+            # nodes, so the candidate sequence (and hence the plan) is
+            # identical to the scan below.  The loop body is a flattened
+            # equivalent of the scan path's all()/min() pass: the same
+            # per-resident predicate (RUNNING, started, strictly lower QoS,
+            # past the shield) with short-circuit exit, fusing the min-QoS
+            # fold into the same traversal.  This is the scheduler's
+            # hottest loop; the reference body below is kept verbatim.
+            running_state = JobState.RUNNING
+            pending_qos = int(pending.qos)
+            shield = self.shield
+            for node_id in candidate_ids:
+                if node_id in excluded:
+                    continue
+                node = nodes[node_id]
+                running = node.running_jobs
+                if not running or node.fully_free:
+                    continue
+                min_qos = pending_qos  # residents must all rank below it
+                liberable = True
+                for jid in running:
+                    job = jobs[jid]
+                    start_time = job.start_time
+                    if (
+                        job.state is not running_state
+                        or start_time is None
+                        or (now - start_time) < shield
+                    ):
+                        liberable = False
+                        break
+                    qos = int(job.spec.qos)
+                    if qos >= pending_qos:
+                        liberable = False
+                        break
+                    if qos < min_qos:
+                        min_qos = qos
+                if not liberable:
+                    continue
+                held = node.total_gpus - node.free_gpus
+                candidates.append(((min_qos, held), node))
+        else:
+            pool = (n for n in nodes.values() if n.is_schedulable())
+            for node in pool:
+                if node.node_id in excluded:
+                    continue
+                if not node.running_jobs or node.fully_free:
+                    continue
+                residents = [jobs[jid] for jid in node.running_jobs]
+                if not all(
+                    self.job_is_preemptible(job, pending, now)
+                    for job in residents
+                ):
+                    continue
+                min_qos = min(int(job.qos) for job in residents)
+                held = node.total_gpus - node.free_gpus
+                candidates.append(((min_qos, held), node))
         if len(candidates) < to_liberate:
             return None
 

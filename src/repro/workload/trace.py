@@ -7,7 +7,9 @@ A :class:`Trace` bundles everything the paper's analyses read:
 * the health/cluster event stream (check firings, incidents, tickets).
 
 Traces serialize to JSONL so campaigns can be generated once and analyzed
-many times.
+many times.  For analysis hot paths, :attr:`Trace.columns` exposes the
+same content as typed NumPy column blocks (built lazily, cached) — see
+:mod:`repro.core.columns`.
 """
 
 import json
@@ -85,6 +87,25 @@ class Trace:
     def span_seconds(self) -> float:
         return self.end - self.start
 
+    @property
+    def columns(self):
+        """Lazily-built :class:`~repro.core.columns.ColumnarTrace` view.
+
+        Built once from the row records on first access and cached; traces
+        that were materialized *from* columnar form (npz cache hits) carry
+        their blocks along and never rebuild.  The columns are a read-only
+        view: mutating ``job_records``/``events`` after the first access
+        leaves the cached blocks stale (campaign traces are append-once,
+        so this never happens on the production path).
+        """
+        cached = getattr(self, "_columns", None)
+        if cached is None:
+            from repro.core.columns import ColumnarTrace
+
+            cached = ColumnarTrace.from_trace(self)
+            self._columns = cached
+        return cached
+
     def records_by_state(self, state: JobState) -> List[JobAttemptRecord]:
         return [r for r in self.job_records if r.state is state]
 
@@ -102,6 +123,9 @@ class Trace:
         return log
 
     def total_gpu_seconds(self) -> float:
+        cached = getattr(self, "_columns", None)
+        if cached is not None:
+            return float(cached.jobs.gpu_seconds.sum())
         return sum(r.gpu_seconds for r in self.job_records)
 
     def node_record(self, node_id: int) -> NodeTraceRecord:

@@ -53,7 +53,7 @@ def test_entries_are_sharded_under_versioned_root(tmp_path, config, trace):
     cache = TraceCache(root=tmp_path, enabled=True)
     path = cache.put(config, trace)
     digest = config_digest(config)
-    assert path.name == f"{digest}.pkl"
+    assert path.name == f"{digest}.npz"
     assert path.parent.name == digest[:2]
     assert path.parent.parent.name == f"v{CACHE_FORMAT_VERSION}"
 
@@ -61,7 +61,7 @@ def test_entries_are_sharded_under_versioned_root(tmp_path, config, trace):
 def test_corrupt_entry_is_a_miss_and_discarded(tmp_path, config, trace):
     cache = TraceCache(root=tmp_path, enabled=True)
     path = cache.put(config, trace)
-    path.write_bytes(b"not a pickle")
+    path.write_bytes(b"not an npz archive")
     assert cache.get(config) is None
     assert not path.exists()  # dropped, not left to fail forever
     assert cache.misses == 1
@@ -70,11 +70,72 @@ def test_corrupt_entry_is_a_miss_and_discarded(tmp_path, config, trace):
 def test_stamp_mismatch_invalidates(tmp_path, config, trace):
     cache = TraceCache(root=tmp_path, enabled=True)
     path = cache.put(config, trace)
-    entry = pickle.loads(path.read_bytes())
-    entry["cache_format"] = CACHE_FORMAT_VERSION + 1
-    path.write_bytes(pickle.dumps(entry))
+    # Re-stamp the entry with a future cache-key format: must be treated
+    # as stale, discarded, and never served.
+    trace.columns.save_npz(
+        path,
+        extra={
+            "cache_entry": 2,
+            "cache_format": CACHE_FORMAT_VERSION + 1,
+            "trace_schema": 1,
+            "digest": config_digest(config),
+        },
+    )
     assert cache.get(config) is None
     assert not path.exists()
+
+
+def _write_legacy_entry(cache, config, trace):
+    """Write an entry exactly as the v1 (pickle) cache format did."""
+    from repro.workload.trace import TRACE_SCHEMA_VERSION
+
+    digest = config_digest(config)
+    path = cache._legacy_path(digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "digest": digest,
+        "trace": trace.to_dict(),
+    }
+    path.write_bytes(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+    return path
+
+
+def test_legacy_pickle_entries_still_serve_hits(tmp_path, config, trace):
+    """A cache directory written by entry-format v1 keeps working as-is."""
+    cache = TraceCache(root=tmp_path, enabled=True)
+    legacy = _write_legacy_entry(cache, config, trace)
+    assert legacy.suffix == ".pkl"
+
+    loaded = cache.get(config)
+    assert loaded is not None
+    assert trace_digest(loaded) == trace_digest(trace)
+    assert loaded.metadata["runtime"]["source"] == "cache"
+    assert cache.stats() == {"hits": 1, "misses": 0, "writes": 0}
+    assert legacy.exists()  # never discarded while valid
+
+
+def test_npz_entry_preferred_over_legacy(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True)
+    _write_legacy_entry(cache, config, trace)
+    npz_path = cache.put(config, trace)
+    assert npz_path.suffix == ".npz"
+    loaded = cache.get(config)
+    assert loaded is not None
+    assert trace_digest(loaded) == trace_digest(trace)
+    assert cache.hits == 1
+
+
+def test_config_digest_stable_across_entry_formats(tmp_path, config, trace):
+    """The cache *key* does not depend on the entry encoding: a legacy
+    directory and a fresh npz directory address the same digest."""
+    digest = config_digest(config)
+    legacy_cache = TraceCache(root=tmp_path / "legacy", enabled=True)
+    legacy = _write_legacy_entry(legacy_cache, config, trace)
+    npz_cache = TraceCache(root=tmp_path / "npz", enabled=True)
+    npz = npz_cache.put(config, trace)
+    assert legacy.stem == npz.stem == digest
 
 
 def test_disabled_cache_never_touches_disk(tmp_path, config, trace):

@@ -1,0 +1,70 @@
+"""BENCH_runtime.json trajectory: append, load, and tolerance semantics."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    BENCH_RUNTIME_FILENAME,
+    TRAJECTORY_FORMAT_VERSION,
+    default_trajectory_path,
+    latest_record,
+    load_trajectory,
+    record_benchmark,
+)
+
+
+def test_record_appends_and_latest_wins(tmp_path):
+    path = tmp_path / BENCH_RUNTIME_FILENAME
+    record_benchmark("cache", {"speedup": 11.0}, path=path)
+    record_benchmark("columnar", {"speedup": 3.0}, path=path)
+    second = record_benchmark("cache", {"speedup": 12.5}, path=path)
+
+    doc = load_trajectory(path)
+    assert doc["format_version"] == TRAJECTORY_FORMAT_VERSION
+    assert [r["bench"] for r in doc["records"]] == [
+        "cache",
+        "columnar",
+        "cache",
+    ]
+    latest = latest_record("cache", path=path)
+    assert latest["metrics"] == {"speedup": 12.5}
+    assert latest["unix_time"] == second["unix_time"]
+    assert latest["timestamp"].endswith("+00:00")  # ISO-8601 UTC
+    assert latest_record("never-ran", path=path) is None
+
+
+def test_missing_and_corrupt_files_restart_the_trajectory(tmp_path):
+    path = tmp_path / BENCH_RUNTIME_FILENAME
+    assert load_trajectory(path) == {
+        "format_version": TRAJECTORY_FORMAT_VERSION,
+        "records": [],
+    }
+    path.write_text("{not json")
+    assert load_trajectory(path)["records"] == []
+    path.write_text(json.dumps({"records": "not-a-list"}))
+    assert load_trajectory(path)["records"] == []
+    # Recording over a corrupt file succeeds rather than erroring out.
+    path.write_text("{not json")
+    record_benchmark("cache", {"x": 1}, path=path)
+    assert len(load_trajectory(path)["records"]) == 1
+
+
+def test_record_is_written_atomically(tmp_path):
+    path = tmp_path / BENCH_RUNTIME_FILENAME
+    record_benchmark("cache", {"x": 1}, path=path)
+    # No temp droppings left behind, and the document is valid JSON.
+    assert [p.name for p in tmp_path.iterdir()] == [BENCH_RUNTIME_FILENAME]
+    json.loads(path.read_text())
+
+
+def test_empty_bench_name_rejected(tmp_path):
+    with pytest.raises(ValueError, match="non-empty"):
+        record_benchmark("", {}, path=tmp_path / "x.json")
+
+
+def test_default_path_is_repo_root():
+    path = default_trajectory_path()
+    assert path.name == BENCH_RUNTIME_FILENAME
+    # The repo root is where the package's src/ directory lives.
+    assert (path.parent / "src" / "repro").is_dir()
