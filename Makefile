@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke obs-smoke perf-smoke
+.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -33,3 +33,12 @@ perf-smoke:
 obs-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "obs_smoke" --benchmark-disable -s
+
+# Streaming-analytics smoke: replays the shared benchmark trace through
+# repro.live, cross-checks the online estimators against the batch
+# pipeline (rolling timeline bit-exact, zero late events), round-trips a
+# mid-stream snapshot, and appends ingest events/sec to
+# BENCH_runtime.json.
+live-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "live_smoke" --benchmark-disable -s

@@ -8,9 +8,17 @@ Subcommands::
     repro campaign  --telemetry out/ ...             # + obs streams per trace
     repro analyze   --trace trace.jsonl --figure fig3
     repro analyze   --trace trace.jsonl --figure all
+    repro live      --trace trace.jsonl [--report-every 5] \
+                    [--snapshot-out live.json] [--resume live.json]
+    repro live      --cluster rsc1 --nodes 64 --days 30 --seed 42  # tap a fresh sim
     repro obs summary out/                           # telemetry run report
     repro sweep     [--gpus 100000]
     repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
+
+``repro live`` streams a trace (or a freshly simulated campaign) through
+the online estimators in ``repro.live``, printing periodic reliability
+reports and optionally checkpointing estimator state to a snapshot that
+``--resume`` continues exactly (see docs/STREAMING.md).
 
 Campaign results are served from the content-addressed trace cache when
 the same fully-resolved config was simulated before; pass ``--no-cache``
@@ -200,6 +208,115 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign
+    from repro.live import (
+        CampaignTap,
+        LiveAnalytics,
+        LiveConfig,
+        replay_trace,
+    )
+    from repro.sim.timeunits import DAY
+
+    overrides = {"step_days": args.step_days}
+    if args.window_days is not None:
+        overrides["window_days"] = args.window_days
+    if args.rf_min_gpus is not None:
+        overrides["rf_min_gpus"] = args.rf_min_gpus
+
+    state = {"next_report": args.report_every, "reported_at": -1.0}
+
+    def maybe_report(analytics: "LiveAnalytics") -> None:
+        if not args.report_every:
+            return
+        emitted = False
+        while analytics.watermark / DAY >= state["next_report"]:
+            if not emitted:
+                print(analytics.report().render())
+                print()
+                emitted = True
+                state["reported_at"] = analytics.watermark
+            state["next_report"] += args.report_every
+        if emitted and args.snapshot_out:
+            analytics.save_snapshot(args.snapshot_out)
+
+    if args.trace:
+        trace = Trace.load(args.trace)
+        if args.resume:
+            analytics = LiveAnalytics.load_snapshot(args.resume)
+            logger.info(
+                "resuming from %s at day %.2f (%d items ingested)",
+                args.resume,
+                analytics.watermark / DAY,
+                sum(analytics.counts.values()),
+            )
+            state["next_report"] = (
+                (analytics.watermark / DAY) // args.report_every + 1
+            ) * args.report_every if args.report_every else 0
+        else:
+            analytics = LiveAnalytics(LiveConfig.for_trace(trace, **overrides))
+        bus = replay_trace(
+            trace,
+            analytics,
+            batch_size=args.batch,
+            on_batch=lambda: maybe_report(analytics),
+        )
+    else:
+        if args.resume:
+            logger.error("--resume requires --trace (replay mode)")
+            return 2
+        if args.cluster == "rsc1":
+            spec = ClusterSpec.rsc1_like(
+                n_nodes=args.nodes, campaign_days=args.days
+            )
+        else:
+            spec = ClusterSpec.rsc2_like(
+                n_nodes=args.nodes, campaign_days=args.days
+            )
+        config = CampaignConfig(
+            cluster_spec=spec, duration_days=args.days, seed=args.seed
+        )
+        analytics = LiveAnalytics(
+            LiveConfig(
+                cluster_name=spec.name,
+                n_nodes=spec.n_nodes,
+                n_gpus=spec.n_gpus,
+                span_seconds=args.days * DAY,
+                **overrides,
+            )
+        )
+        logger.info(
+            "tapping a fresh %s campaign: %d nodes x %s days (seed %d)",
+            spec.name,
+            args.nodes,
+            args.days,
+            args.seed,
+        )
+        tap = CampaignTap(
+            Campaign(config),
+            analytics,
+            batch_size=args.batch,
+            on_batch=lambda: maybe_report(analytics),
+        )
+        tap.run()
+        bus = tap.bus
+
+    if state["reported_at"] != analytics.watermark:
+        print(analytics.report().render())
+    if args.snapshot_out:
+        path = analytics.save_snapshot(args.snapshot_out)
+        logger.info("final snapshot: %s", path)
+    stats = bus.stats
+    logger.info(
+        "stream: %d items in %d flushes (max depth %d, dropped %d)",
+        stats.delivered,
+        stats.flushes,
+        stats.max_depth,
+        stats.dropped,
+    )
+    return 0
+
+
 def cmd_obs_summary(args: argparse.Namespace) -> int:
     from repro.obs import summarize
 
@@ -326,6 +443,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--risk-aware", action="store_true",
                    help="reliability-aware gang placement")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "live",
+        help="stream a trace or fresh campaign through the online "
+             "reliability estimators",
+    )
+    p.add_argument("--trace", default=None,
+                   help="replay a saved trace; omit to tap a fresh "
+                        "simulation instead")
+    p.add_argument("--cluster", choices=("rsc1", "rsc2"), default="rsc1",
+                   help="fresh-simulation mode: cluster profile")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window-days", type=float, default=None,
+                   help="rolling failure-rate window (default: the batch "
+                        "Fig. 5 rule, 30d scaled by span/330)")
+    p.add_argument("--step-days", type=float, default=1.0)
+    p.add_argument("--rf-min-gpus", type=int, default=None,
+                   help="pin the r_f job-size floor (exact streaming r_f); "
+                        "default: auto floor, half the largest job")
+    p.add_argument("--report-every", type=float, default=0.0, metavar="DAYS",
+                   help="print a live report each time the watermark "
+                        "crosses another DAYS of simulated time")
+    p.add_argument("--snapshot-out", default=None, metavar="PATH",
+                   help="write the estimator snapshot here (refreshed at "
+                        "each periodic report and at the end)")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="restore a snapshot and continue the replay "
+                        "exactly (requires --trace)")
+    p.add_argument("--batch", type=int, default=4096,
+                   help="bus flush batch size")
+    p.set_defaults(func=cmd_live)
 
     p = sub.add_parser("obs", help="inspect emitted telemetry")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

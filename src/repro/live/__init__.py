@@ -1,0 +1,81 @@
+"""repro.live — streaming reliability analytics over the event stream.
+
+The online counterpart of ``repro.analysis``: a bounded event bus, a
+deterministic trace replay, and a set of incrementally-updated
+estimators (rolling failure rates, per-size MTTF, ETTR forecasts, lemon
+scores, fleet gauges) whose answers are cross-validated against the
+batch analyses — bit-identical where the math permits, within
+documented tolerance otherwise.  See ``docs/STREAMING.md``.
+
+Two ways in:
+
+* **Replay** a finished trace::
+
+      from repro.live import LiveAnalytics, LiveConfig, replay_trace
+
+      analytics = LiveAnalytics(LiveConfig.for_trace(trace))
+      replay_trace(trace, analytics)
+      print(analytics.report().render())
+
+* **Tap** a running campaign::
+
+      from repro.live import live_campaign
+
+      trace, analytics, bus = live_campaign(config)
+
+Sessions checkpoint with ``analytics.snapshot()`` /
+``LiveAnalytics.from_snapshot`` (exact resume), and the ``repro live``
+CLI subcommand wraps both modes.
+"""
+
+from repro.live.analytics import (
+    LIVE_SNAPSHOT_VERSION,
+    LiveAnalytics,
+    LiveConfig,
+    LiveReport,
+)
+from repro.live.bus import (
+    CHANNEL_EVENT,
+    CHANNEL_JOB,
+    CHANNEL_NODE,
+    CHANNELS,
+    CHANNEL_RANK,
+    BusOverflow,
+    BusStats,
+    EventBus,
+    StreamItem,
+)
+from repro.live.estimators import (
+    ETTRForecaster,
+    FleetGauges,
+    LiveLemonEstimator,
+    OnlineMTTFEstimator,
+    RollingFailureRateEstimator,
+)
+from repro.live.replay import iter_trace_stream, replay_trace
+from repro.live.tap import CampaignTap, live_campaign
+
+__all__ = [
+    "LIVE_SNAPSHOT_VERSION",
+    "LiveAnalytics",
+    "LiveConfig",
+    "LiveReport",
+    "CHANNELS",
+    "CHANNEL_JOB",
+    "CHANNEL_EVENT",
+    "CHANNEL_NODE",
+    "CHANNEL_RANK",
+    "BusOverflow",
+    "BusStats",
+    "EventBus",
+    "StreamItem",
+    "ETTRForecaster",
+    "FleetGauges",
+    "LiveLemonEstimator",
+    "OnlineMTTFEstimator",
+    "RollingFailureRateEstimator",
+    "iter_trace_stream",
+    "replay_trace",
+    "CampaignTap",
+    "live_campaign",
+]

@@ -1,0 +1,167 @@
+"""The live event bus: bounded, backpressure-safe fan-out of stream items.
+
+The bus is the seam between producers (a running campaign's tap, or a
+trace replay) and consumers (the online estimators).  It is deliberately
+small and deterministic:
+
+* **Bounded.**  ``capacity`` caps the number of undelivered items.  A
+  producer that outruns its consumers either fails fast
+  (``on_overflow="error"``, the default — backpressure surfaces as an
+  exception at the publish site instead of unbounded memory growth) or
+  sheds the oldest items (``on_overflow="drop_oldest"``, counted in
+  :attr:`BusStats.dropped` so loss is observable, never silent).
+* **FIFO.**  ``flush()`` delivers in publish order; subscribers are
+  invoked in subscription order.  Delivery order is therefore a pure
+  function of publish order, which is what makes live-tap and replay
+  ingestion produce identical estimator states.
+* **Synchronous.**  There are no threads; ``flush()`` runs in the caller.
+  "Backpressure" means the producer decides when to flush (the tap
+  flushes whenever ``depth`` reaches its batch size).
+
+Stream items carry one of three payload channels:
+
+* ``"job"``  — a :class:`~repro.jobtypes.JobAttemptRecord`, timestamped
+  at its ``end_time`` (the moment the accounting row exists);
+* ``"event"`` — an :class:`~repro.sim.events.EventRecord` at its time;
+* ``"node"`` — a :class:`~repro.workload.trace.NodeTraceRecord`,
+  delivered at end of stream (node counters are end-of-campaign facts).
+
+Within one timestamp, job items precede event items — the same order a
+live scheduler produces them (``_finish_attempt`` appends the accounting
+row before emitting ``sched.job_end``) — and node items come last.  See
+``docs/STREAMING.md`` for the full ordering contract.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional
+
+#: Channel names, in deterministic tie-break order (see module docstring).
+CHANNEL_JOB = "job"
+CHANNEL_EVENT = "event"
+CHANNEL_NODE = "node"
+CHANNELS = (CHANNEL_JOB, CHANNEL_EVENT, CHANNEL_NODE)
+
+#: channel -> rank used to break same-timestamp ties during replay.
+CHANNEL_RANK = {name: rank for rank, name in enumerate(CHANNELS)}
+
+
+@dataclass(frozen=True, slots=True)
+class StreamItem:
+    """One element of the live stream.
+
+    Attributes:
+        time: Simulation time in seconds (``end_time`` for job items).
+        channel: ``"job"``, ``"event"``, or ``"node"``.
+        seq: Global publish sequence number, assigned by the bus.
+        payload: The underlying record object.
+    """
+
+    time: float
+    channel: str
+    seq: int
+    payload: Any
+
+
+class BusOverflow(RuntimeError):
+    """Raised by ``publish`` when the bus is full and policy is "error"."""
+
+
+@dataclass
+class BusStats:
+    """Counters describing one bus's lifetime traffic."""
+
+    published: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    flushes: int = 0
+    max_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "flushes": self.flushes,
+            "max_depth": self.max_depth,
+        }
+
+
+class EventBus:
+    """Bounded FIFO fan-out bus for :class:`StreamItem`s."""
+
+    def __init__(self, capacity: int = 65536, on_overflow: str = "error"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if on_overflow not in ("error", "drop_oldest"):
+            raise ValueError(
+                f"on_overflow must be 'error' or 'drop_oldest', "
+                f"got {on_overflow!r}"
+            )
+        self.capacity = capacity
+        self.on_overflow = on_overflow
+        self.stats = BusStats()
+        self._queue: Deque[StreamItem] = deque()
+        self._subscribers: List[Callable[[StreamItem], None]] = []
+        self._seq = 0
+        self._watermark = float("-inf")
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def subscribe(self, consumer: Callable[[StreamItem], None]) -> None:
+        """Register a consumer; called once per item, in publish order."""
+        self._subscribers.append(consumer)
+
+    # ------------------------------------------------------------------
+    # producing
+    # ------------------------------------------------------------------
+    def publish(self, time: float, channel: str, payload: Any) -> StreamItem:
+        """Enqueue one item; returns it (with its sequence number)."""
+        if channel not in CHANNEL_RANK:
+            raise ValueError(f"unknown channel {channel!r}")
+        if len(self._queue) >= self.capacity:
+            if self.on_overflow == "error":
+                raise BusOverflow(
+                    f"bus full ({self.capacity} undelivered items); "
+                    "flush more often or raise capacity"
+                )
+            self._queue.popleft()
+            self.stats.dropped += 1
+        item = StreamItem(
+            time=time, channel=channel, seq=self._seq, payload=payload
+        )
+        self._seq += 1
+        self._queue.append(item)
+        self.stats.published += 1
+        if len(self._queue) > self.stats.max_depth:
+            self.stats.max_depth = len(self._queue)
+        return item
+
+    # ------------------------------------------------------------------
+    # consuming
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Undelivered items currently queued."""
+        return len(self._queue)
+
+    @property
+    def watermark(self) -> float:
+        """Highest item time delivered so far (-inf before any delivery)."""
+        return self._watermark
+
+    def flush(self, max_items: Optional[int] = None) -> int:
+        """Deliver queued items to every subscriber; returns the count."""
+        delivered = 0
+        while self._queue and (max_items is None or delivered < max_items):
+            item = self._queue.popleft()
+            for consumer in self._subscribers:
+                consumer(item)
+            if item.time > self._watermark:
+                self._watermark = item.time
+            delivered += 1
+        self.stats.delivered += delivered
+        if delivered:
+            self.stats.flushes += 1
+        return delivered

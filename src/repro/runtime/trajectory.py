@@ -23,15 +23,31 @@ document::
 documents its own keys.  Appends are atomic (temp file + ``os.replace``)
 and tolerant: a missing or unparsable file restarts the trajectory rather
 than failing the benchmark that tried to record into it.
+
+Concurrent writers are safe: ``os.replace`` alone keeps the document
+well-formed, but two processes that both load, append, and replace would
+silently drop one record (a read-modify-write lost update).  The whole
+append therefore runs under an exclusive advisory ``flock`` on a
+per-target lock file in the system temp directory — outside the target
+directory, so the trajectory file remains the only artifact the append
+leaves behind.  Platforms without ``fcntl`` fall back to the unlocked
+(still atomic, last-writer-wins) behavior.
 """
 
+import hashlib
 import json
 import os
 import tempfile
 import time
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+try:  # POSIX advisory locking; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 TRAJECTORY_FORMAT_VERSION = 1
 BENCH_RUNTIME_FILENAME = "BENCH_runtime.json"
@@ -44,6 +60,31 @@ _REPO_ROOT = Path(__file__).resolve().parents[3]
 def default_trajectory_path() -> Path:
     """``BENCH_runtime.json`` at the repository root."""
     return _REPO_ROOT / BENCH_RUNTIME_FILENAME
+
+
+@contextmanager
+def _append_lock(target: Path):
+    """Exclusive cross-process lock for one trajectory file's appends.
+
+    The lock file lives in the system temp dir, keyed by the resolved
+    target path, so (1) the target directory stays clean and (2) the
+    lock file is never replaced out from under a waiting locker the way
+    locking the target itself would be (``os.replace`` swaps inodes).
+    ``flock`` releases on close even if the holder dies.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    digest = hashlib.sha256(
+        str(Path(target).resolve()).encode("utf-8")
+    ).hexdigest()[:16]
+    lock_path = Path(tempfile.gettempdir()) / f"repro-bench-{digest}.lock"
+    with open(lock_path, "a+", encoding="utf-8") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
 
 def load_trajectory(path: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
@@ -68,13 +109,13 @@ def record_benchmark(
 
     ``metrics`` must be JSON-serializable; numpy scalars are coerced via
     ``float``/``int`` by json's default handling being bypassed — pass
-    plain Python numbers.  The write is atomic so concurrent benchmark
-    processes cannot interleave partial JSON.
+    plain Python numbers.  The write is atomic (readers never see partial
+    JSON) and the whole read-modify-write holds an advisory lock, so
+    concurrent benchmark processes cannot lose each other's records.
     """
     if not bench:
         raise ValueError("bench name must be non-empty")
     target = Path(path) if path is not None else default_trajectory_path()
-    doc = load_trajectory(target)
     now = time.time()
     record = {
         "bench": bench,
@@ -84,23 +125,25 @@ def record_benchmark(
         ),
         "metrics": dict(metrics),
     }
-    doc["format_version"] = TRAJECTORY_FORMAT_VERSION
-    doc["records"].append(record)
-    payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
-    target.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(target.parent), prefix=".bench-runtime-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(payload)
-        os.replace(tmp_name, target)
-    except BaseException:
+    with _append_lock(target):
+        doc = load_trajectory(target)
+        doc["format_version"] = TRAJECTORY_FORMAT_VERSION
+        doc["records"].append(record)
+        payload = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=".bench-runtime-", suffix=".tmp"
+        )
         try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
     return record
 
 

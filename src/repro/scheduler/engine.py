@@ -95,6 +95,12 @@ class SlurmLikeScheduler:
         self.on_job_completed: Optional[
             "Callable[[Job, JobAttemptRecord], None]"
         ] = None
+        #: invoked with every closed attempt record immediately after it
+        #: is appended to ``records`` (and before the ``sched.job_end``
+        #: event) — the live tap's job channel; must not mutate state.
+        self.on_record: Optional[
+            "Callable[[JobAttemptRecord], None]"
+        ] = None
 
         cluster.on_node_down = self._on_node_down
         cluster.on_node_available = self._on_node_available
@@ -341,6 +347,8 @@ class SlurmLikeScheduler:
     def _finish_attempt(self, job: Job, record: JobAttemptRecord) -> None:
         """Common bookkeeping once an attempt's record exists."""
         self.records.append(record)
+        if self.on_record is not None:
+            self.on_record(record)
         self.running.discard(job.job_id)
         self.quotas.release(job.spec.project, job.n_gpus)
         for node_id in record.node_ids:

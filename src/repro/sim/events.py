@@ -35,14 +35,23 @@ class EventLog:
 
     def __init__(self) -> None:
         self._records: List[EventRecord] = []
+        #: Optional observer invoked with every record as it lands (the
+        #: live tap's feed — see :mod:`repro.live.tap`).  One attribute
+        #: check per append when unset; the listener must not mutate the
+        #: log.
+        self.listener: Optional[Callable[[EventRecord], None]] = None
 
     def append(self, record: EventRecord) -> None:
         self._records.append(record)
+        if self.listener is not None:
+            self.listener(record)
 
     def emit(self, time: float, kind: str, subject: str, **data: Any) -> EventRecord:
         """Create, append, and return an :class:`EventRecord`."""
         record = EventRecord(time=time, kind=kind, subject=subject, data=data)
         self._records.append(record)
+        if self.listener is not None:
+            self.listener(record)
         return record
 
     def __len__(self) -> int:

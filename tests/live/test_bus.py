@@ -1,0 +1,110 @@
+"""EventBus semantics: bounds, overflow policies, FIFO fan-out, stats."""
+
+import pytest
+
+from repro.live.bus import (
+    CHANNEL_EVENT,
+    CHANNEL_JOB,
+    CHANNEL_NODE,
+    CHANNEL_RANK,
+    CHANNELS,
+    BusOverflow,
+    EventBus,
+)
+
+
+def test_channels_are_ranked_in_tie_break_order():
+    assert CHANNELS == (CHANNEL_JOB, CHANNEL_EVENT, CHANNEL_NODE)
+    assert CHANNEL_RANK[CHANNEL_JOB] < CHANNEL_RANK[CHANNEL_EVENT]
+    assert CHANNEL_RANK[CHANNEL_EVENT] < CHANNEL_RANK[CHANNEL_NODE]
+
+
+def test_publish_flush_is_fifo_across_channels():
+    bus = EventBus(capacity=16)
+    seen = []
+    bus.subscribe(lambda item: seen.append((item.seq, item.channel, item.payload)))
+    bus.publish(1.0, CHANNEL_JOB, "a")
+    bus.publish(1.0, CHANNEL_EVENT, "b")
+    bus.publish(2.0, CHANNEL_JOB, "c")
+    assert seen == []  # nothing delivered until flush
+    assert bus.depth == 3
+    assert bus.flush() == 3
+    assert seen == [(0, "job", "a"), (1, "event", "b"), (2, "job", "c")]
+    assert bus.depth == 0
+    assert bus.watermark == 2.0
+
+
+def test_subscribers_run_in_subscription_order_per_item():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda item: order.append(("first", item.payload)))
+    bus.subscribe(lambda item: order.append(("second", item.payload)))
+    bus.publish(0.0, CHANNEL_JOB, 1)
+    bus.publish(0.0, CHANNEL_JOB, 2)
+    bus.flush()
+    assert order == [("first", 1), ("second", 1), ("first", 2), ("second", 2)]
+
+
+def test_overflow_error_policy_raises_and_preserves_queue():
+    bus = EventBus(capacity=2, on_overflow="error")
+    bus.publish(0.0, CHANNEL_JOB, "a")
+    bus.publish(0.0, CHANNEL_JOB, "b")
+    with pytest.raises(BusOverflow, match="bus full"):
+        bus.publish(0.0, CHANNEL_JOB, "c")
+    seen = []
+    bus.subscribe(lambda item: seen.append(item.payload))
+    bus.flush()
+    assert seen == ["a", "b"]
+    assert bus.stats.dropped == 0
+
+
+def test_overflow_drop_oldest_policy_sheds_and_counts():
+    bus = EventBus(capacity=2, on_overflow="drop_oldest")
+    for payload in ("a", "b", "c", "d"):
+        bus.publish(0.0, CHANNEL_JOB, payload)
+    assert bus.stats.dropped == 2
+    seen = []
+    bus.subscribe(lambda item: seen.append(item.payload))
+    bus.flush()
+    assert seen == ["c", "d"]
+
+
+def test_partial_flush_respects_max_items():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(lambda item: seen.append(item.payload))
+    for i in range(5):
+        bus.publish(float(i), CHANNEL_JOB, i)
+    assert bus.flush(max_items=2) == 2
+    assert seen == [0, 1]
+    assert bus.watermark == 1.0
+    assert bus.flush() == 3
+    assert bus.watermark == 4.0
+
+
+def test_stats_track_traffic():
+    bus = EventBus(capacity=4)
+    bus.subscribe(lambda item: None)
+    for i in range(3):
+        bus.publish(float(i), CHANNEL_JOB, i)
+    bus.flush()
+    bus.publish(3.0, CHANNEL_EVENT, "x")
+    bus.flush()
+    stats = bus.stats.as_dict()
+    assert stats["published"] == 4
+    assert stats["delivered"] == 4
+    assert stats["dropped"] == 0
+    assert stats["flushes"] == 2
+    assert stats["max_depth"] == 3
+    # empty flush is not counted
+    bus.flush()
+    assert bus.stats.flushes == 2
+
+
+def test_invalid_construction_and_channel_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        EventBus(capacity=0)
+    with pytest.raises(ValueError, match="on_overflow"):
+        EventBus(on_overflow="panic")
+    with pytest.raises(ValueError, match="unknown channel"):
+        EventBus().publish(0.0, "mystery", None)

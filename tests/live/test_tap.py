@@ -1,0 +1,97 @@
+"""Live campaign tap: hooks, equivalence with replay, cleanup."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.cluster.cluster import ClusterSpec
+from repro.live import (
+    CampaignTap,
+    LiveAnalytics,
+    LiveConfig,
+    live_campaign,
+    replay_trace,
+)
+
+
+def _config(n_nodes=16, days=10, seed=3):
+    spec = ClusterSpec.rsc1_like(n_nodes=n_nodes, campaign_days=days)
+    return CampaignConfig(cluster_spec=spec, duration_days=days, seed=seed)
+
+
+def test_tapped_campaign_equals_replay_bit_for_bit():
+    """The tentpole equivalence: tap-while-running == replay-afterward.
+
+    Both modes deliver the same items in the same per-channel order, so
+    every estimator's floating-point accumulation sequence is identical
+    and the final snapshots must match byte for byte.
+    """
+    trace, tapped, bus = live_campaign(_config())
+    assert bus.stats.published == bus.stats.delivered > 0
+
+    replayed = LiveAnalytics(LiveConfig.for_trace(trace))
+    replay_trace(trace, replayed)
+
+    assert json.dumps(tapped.snapshot(), sort_keys=True) == json.dumps(
+        replayed.snapshot(), sort_keys=True
+    )
+
+
+def test_tap_does_not_change_the_trace():
+    """Attaching the tap must not perturb the simulation itself."""
+    config = _config(n_nodes=12, days=8, seed=5)
+    plain = Campaign(config).run()
+    tapped_trace, _analytics, _bus = live_campaign(config)
+    assert tapped_trace.job_records == plain.job_records
+    assert tapped_trace.events == plain.events
+    assert tapped_trace.node_records == plain.node_records
+
+
+def test_tap_detaches_hooks_after_run():
+    config = _config(n_nodes=8, days=5, seed=1)
+    campaign = Campaign(config)
+    analytics = LiveAnalytics(
+        LiveConfig(
+            cluster_name=config.cluster_spec.name,
+            n_nodes=config.cluster_spec.n_nodes,
+            n_gpus=config.cluster_spec.n_gpus,
+            span_seconds=config.duration_days * 86400.0,
+        )
+    )
+    tap = CampaignTap(campaign, analytics)
+    tap.run()
+    assert campaign.scheduler.on_record is None
+    assert campaign.event_log.listener is None
+
+
+def test_tap_refuses_taken_hooks():
+    config = _config(n_nodes=8, days=5, seed=1)
+    campaign = Campaign(config)
+    campaign.scheduler.on_record = lambda record: None
+    analytics = LiveAnalytics(
+        LiveConfig(
+            cluster_name="x",
+            n_nodes=8,
+            n_gpus=64,
+            span_seconds=5 * 86400.0,
+        )
+    )
+    with pytest.raises(RuntimeError, match="already taken"):
+        CampaignTap(campaign, analytics).attach()
+
+
+def test_tap_rejects_bad_batch_size():
+    config = _config(n_nodes=8, days=5, seed=1)
+    analytics = LiveAnalytics(
+        LiveConfig(cluster_name="x", n_nodes=8, n_gpus=64, span_seconds=1.0)
+    )
+    with pytest.raises(ValueError, match="batch_size"):
+        CampaignTap(Campaign(config), analytics, batch_size=0)
+
+
+def test_on_batch_fires_periodically():
+    calls = []
+    live_campaign(_config(n_nodes=8, days=5, seed=1), batch_size=256,
+                  on_batch=lambda: calls.append(1))
+    assert len(calls) >= 2  # several flush batches plus the final one

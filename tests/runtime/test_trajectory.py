@@ -1,6 +1,7 @@
 """BENCH_runtime.json trajectory: append, load, and tolerance semantics."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -56,6 +57,52 @@ def test_record_is_written_atomically(tmp_path):
     # No temp droppings left behind, and the document is valid JSON.
     assert [p.name for p in tmp_path.iterdir()] == [BENCH_RUNTIME_FILENAME]
     json.loads(path.read_text())
+
+
+def _hammer_trajectory(path_str, worker, n_appends, barrier):
+    barrier.wait()  # maximize overlap: all workers start appending at once
+    for i in range(n_appends):
+        record_benchmark(f"worker-{worker}", {"i": i}, path=path_str)
+
+
+def test_concurrent_writers_lose_no_records(tmp_path):
+    """The read-modify-write append must not drop concurrent records.
+
+    Without the advisory lock, two processes that both load the document,
+    append, and replace it silently lose one of the two records — a
+    classic lost update that ``os.replace`` atomicity alone cannot
+    prevent.  Every record from every worker must survive.
+    """
+    path = tmp_path / BENCH_RUNTIME_FILENAME
+    n_workers, n_appends = 4, 8
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(n_workers)
+    procs = [
+        ctx.Process(
+            target=_hammer_trajectory,
+            args=(str(path), w, n_appends, barrier),
+        )
+        for w in range(n_workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    doc = load_trajectory(path)
+    assert len(doc["records"]) == n_workers * n_appends
+    for w in range(n_workers):
+        mine = [r for r in doc["records"] if r["bench"] == f"worker-{w}"]
+        assert sorted(r["metrics"]["i"] for r in mine) == list(range(n_appends))
+    # Per-worker append order is preserved within the document.
+    for w in range(n_workers):
+        seq = [
+            r["metrics"]["i"]
+            for r in doc["records"]
+            if r["bench"] == f"worker-{w}"
+        ]
+        assert seq == sorted(seq)
 
 
 def test_empty_bench_name_rejected(tmp_path):

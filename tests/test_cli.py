@@ -155,3 +155,76 @@ def test_diagnostics_go_to_stderr_not_stdout(tmp_path, capsys):
 def test_verbose_and_quiet_conflict():
     with pytest.raises(SystemExit):
         main(["-v", "-q", "sweep"])
+
+
+@pytest.fixture(scope="module")
+def small_trace_path(tmp_path_factory):
+    out = tmp_path_factory.mktemp("live_cli") / "trace.jsonl"
+    assert main(["campaign", "--nodes", "12", "--days", "6", "--seed", "1",
+                 "--out", str(out)]) == 0
+    return out
+
+
+def test_live_replay_reports_and_snapshots(small_trace_path, tmp_path, capsys):
+    snap = tmp_path / "live.json"
+    code = main(
+        ["live", "--trace", str(small_trace_path), "--report-every", "3",
+         "--snapshot-out", str(snap), "--batch", "512"]
+    )
+    assert code == 0
+    assert snap.exists()
+    out = capsys.readouterr().out
+    # one mid-stream report plus the final one
+    assert out.count("live reliability state") == 2
+    assert "watermark" in out
+    assert "day 6.00" in out
+
+
+def test_live_fresh_sim_mode(capsys):
+    code = main(
+        ["live", "--cluster", "rsc1", "--nodes", "8", "--days", "4",
+         "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("live reliability state") == 1
+    assert "items ingested" in out
+
+
+def test_live_resume_continues_bit_identically(small_trace_path, tmp_path,
+                                               capsys):
+    import json
+
+    from repro.live import EventBus, LiveAnalytics, LiveConfig
+    from repro.live.replay import iter_trace_stream
+    from repro.workload.trace import Trace
+
+    full = tmp_path / "full.json"
+    assert main(["live", "--trace", str(small_trace_path),
+                 "--snapshot-out", str(full)]) == 0
+
+    trace = Trace.load(small_trace_path)
+    partial = LiveAnalytics(LiveConfig.for_trace(trace))
+    items = list(iter_trace_stream(trace))
+    bus = EventBus()
+    bus.subscribe(partial.ingest)
+    for time, channel, payload in items[: len(items) // 2]:
+        bus.publish(time, channel, payload)
+    bus.flush()
+    mid = tmp_path / "mid.json"
+    partial.save_snapshot(mid)
+
+    resumed = tmp_path / "resumed.json"
+    assert main(["live", "--trace", str(small_trace_path), "--resume",
+                 str(mid), "--snapshot-out", str(resumed)]) == 0
+    capsys.readouterr()
+    assert json.dumps(json.load(full.open()), sort_keys=True) == json.dumps(
+        json.load(resumed.open()), sort_keys=True
+    )
+
+
+def test_live_resume_requires_trace(capsys):
+    assert main(["live", "--resume", "whatever.json"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "requires --trace" in captured.err
