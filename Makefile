@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke
+.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -42,3 +42,12 @@ obs-smoke:
 live-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "live_smoke" --benchmark-disable -s
+
+# Resilience acceptance: one multi-seed sweep fault-free, then again
+# under a seeded ChaosPolicy that SIGKILLs worker processes mid-seed and
+# corrupts trace-cache entries on disk.  Asserts the surviving traces
+# are bit-identical to the fault-free run and prints the recovery work
+# (retries / respawns / quarantined entries).  Finishes in ~15s.
+chaos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "chaos_smoke" --benchmark-disable -s

@@ -26,7 +26,7 @@ import time
 
 from conftest import show
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec, RunOptions, run_campaign
 from repro.analysis.ettr_analysis import ettr_comparison
 from repro.analysis.failure_rates import attributed_failure_rates
 from repro.analysis.goodput_loss import goodput_loss_analysis
@@ -53,15 +53,16 @@ def _config() -> CampaignConfig:
 
 def _analyze(trace, use_columns: bool) -> None:
     """The full figure pipeline on one engine (fig. 3-9 + headline)."""
-    job_status_breakdown(trace, use_columns=use_columns)
-    job_size_distribution(trace, use_columns=use_columns)
-    attributed_failure_rates(trace, use_columns=use_columns)
-    failure_rate_timeline(trace, use_columns=use_columns)
-    mttf_analysis(trace, use_columns=use_columns)
-    goodput_loss_analysis(trace, use_columns=use_columns)
-    headline_numbers(trace, use_columns=use_columns)
+    options = RunOptions(use_columns=use_columns)
+    job_status_breakdown(trace, options=options)
+    job_size_distribution(trace, options=options)
+    attributed_failure_rates(trace, options=options)
+    failure_rate_timeline(trace, options=options)
+    mttf_analysis(trace, options=options)
+    goodput_loss_analysis(trace, options=options)
+    headline_numbers(trace, options=options)
     try:
-        ettr_comparison(trace, use_columns=use_columns)
+        ettr_comparison(trace, options=options)
     except ValueError:
         pass  # short campaigns may not host a Fig. 9 cohort
 
@@ -70,7 +71,7 @@ def test_perf_smoke_columnar_pipeline():
     config = _config()
 
     t0 = time.perf_counter()
-    legacy = run_campaign(config, incremental_indices=False)
+    legacy = run_campaign(config, RunOptions(incremental_indices=False))
     legacy_sim_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     _analyze(legacy, use_columns=False)

@@ -40,7 +40,6 @@ def test_live_smoke_throughput_and_agreement(bench_rsc1_trace):
         trace,
         window_days=analytics.rolling.window_days,
         step_days=analytics.config.step_days,
-        use_columns=True,
     )
     assert np.array_equal(analytics.timeline().overall, batch.overall)
     assert analytics.rolling.late_events == 0

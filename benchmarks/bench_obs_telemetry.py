@@ -16,7 +16,7 @@ import time
 
 from conftest import show
 
-from repro import CampaignConfig, ClusterSpec, run_campaign
+from repro import CampaignConfig, ClusterSpec, RunOptions, run_campaign
 from repro.obs import Telemetry, check_stream_well_formed, load_snapshot, summarize
 from repro.obs.telemetry import EVENTS_SUFFIX, METRICS_SUFFIX
 from repro.sim.engine import Engine
@@ -32,7 +32,7 @@ def test_obs_smoke_stream_integrity(tmp_path):
     spec = ClusterSpec.rsc1_like(n_nodes=16, campaign_days=5)
     config = CampaignConfig(cluster_spec=spec, duration_days=5, seed=17)
     telemetry = Telemetry.to_directory(tmp_path, stem="smoke")
-    trace = run_campaign(config, telemetry=telemetry)
+    trace = run_campaign(config, RunOptions(telemetry=telemetry))
     emitted = telemetry.tracer.events_emitted
     telemetry.finalize()
 

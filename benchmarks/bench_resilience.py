@@ -1,0 +1,117 @@
+"""Chaos smoke: a deliberately hostile sweep must change nothing.
+
+The `make chaos-smoke` experiment (also a CI job): one multi-seed sweep
+runs fault-free, then again under a seeded :class:`ChaosPolicy` that
+kills real worker processes mid-seed and corrupts cache entries on disk
+before they are read.  The resilient pool absorbs every fault — retries
+with backoff, respawns the broken executor, quarantines and rebuilds the
+poisoned entries — and the surviving traces must digest bit-identical to
+the fault-free run.  Recovery work is printed and recorded, so "how much
+chaos did we survive" is a tracked number, not an anecdote.
+"""
+
+import time
+
+from repro import CampaignConfig, ClusterSpec
+from repro.analysis.report import render_table
+from repro.resilience import Backoff, ChaosPolicy, ResilienceConfig, RetryPolicy
+from repro.runtime import (
+    CampaignPool,
+    TraceCache,
+    record_benchmark,
+    seed_sweep_configs,
+    trace_digest,
+)
+
+N_SEEDS = 3
+NODES = 16
+DAYS = 3
+CHAOS_SEED = 7
+
+
+def _sweep_configs():
+    spec = ClusterSpec.rsc1_like(n_nodes=NODES, campaign_days=DAYS)
+    base = CampaignConfig(cluster_spec=spec, duration_days=DAYS, seed=0)
+    return seed_sweep_configs(base, range(N_SEEDS))
+
+
+def test_chaos_smoke_digest_parity(tmp_path):
+    configs = _sweep_configs()
+    chaos = ChaosPolicy(
+        seed=CHAOS_SEED,
+        worker_kill_rate=0.6,
+        max_kills_per_config=2,
+        cache_corruption_rate=0.6,
+    )
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, backoff=Backoff(base_s=0.01, seed=1)),
+        chaos=chaos,
+        circuit_threshold=10,
+    )
+
+    t0 = time.perf_counter()
+    baseline = CampaignPool(max_workers=1, cache=False).run(configs)
+    clean_s = time.perf_counter() - t0
+    want = [trace_digest(t) for t in baseline]
+
+    cache = TraceCache(root=tmp_path / "cache", enabled=True)
+    pool = CampaignPool(max_workers=2, cache=cache, resilience=resilience)
+    t0 = time.perf_counter()
+    survived = pool.run(configs)
+    chaos_s = time.perf_counter() - t0
+    chaotic = pool.last_stats
+    assert [trace_digest(t) for t in survived] == want
+
+    # Second pass: chaos now corrupts the entries the first pass wrote;
+    # integrity verification quarantines them and the sweep rebuilds —
+    # still digest-identical, and the intact entries still serve hits.
+    cache2 = TraceCache(root=tmp_path / "cache", enabled=True)
+    rebuild_pool = CampaignPool(max_workers=2, cache=cache2, resilience=resilience)
+    rebuilt = rebuild_pool.run(configs)
+    assert [trace_digest(t) for t in rebuilt] == want
+
+    rows = [
+        ("fault-free serial", f"{clean_s:.2f}s", "-", "-", "-"),
+        (
+            "chaotic pool",
+            f"{chaos_s:.2f}s",
+            str(chaotic.retries),
+            str(chaotic.respawns),
+            str(cache.quarantined),
+        ),
+        (
+            "rebuild pass",
+            f"{rebuild_pool.last_stats.wall_time_s:.2f}s",
+            str(rebuild_pool.last_stats.retries),
+            str(rebuild_pool.last_stats.respawns),
+            str(cache2.quarantined),
+        ),
+    ]
+    print()
+    print(
+        render_table(
+            ["run", "wall", "retries", "respawns", "quarantined"],
+            rows,
+            title=(
+                f"Chaos smoke — {N_SEEDS}-seed sweep, kill_rate=0.6, "
+                f"corruption_rate=0.6 (digests identical)"
+            ),
+        )
+    )
+    assert chaotic.retries > 0  # chaos actually landed
+
+    record_benchmark(
+        "chaos_smoke",
+        {
+            "seeds": N_SEEDS,
+            "nodes": NODES,
+            "days": DAYS,
+            "chaos_seed": CHAOS_SEED,
+            "clean_s": round(clean_s, 3),
+            "chaos_s": round(chaos_s, 3),
+            "retries": chaotic.retries,
+            "respawns": chaotic.respawns,
+            "quarantined": cache.quarantined + cache2.quarantined,
+            "digest_parity": True,
+        },
+    )

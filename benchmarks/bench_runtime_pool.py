@@ -122,7 +122,9 @@ def test_runtime_smoke_cache_hit(tmp_path):
     config = CampaignConfig(cluster_spec=spec, duration_days=20, seed=1)
 
     first = cached_run_campaign(config, cache=cache)
-    assert cache.stats() == {"hits": 0, "misses": 1, "writes": 1}
+    assert cache.stats() == {
+        "hits": 0, "misses": 1, "writes": 1, "quarantined": 0
+    }
     assert first.metadata["runtime"]["source"] == "simulated"
 
     # Best of two timed hits: a single cold load can pay one-off costs

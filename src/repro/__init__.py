@@ -15,9 +15,16 @@ The package has three layers:
 3. **Analysis** (:mod:`repro.analysis`) — one module per table/figure,
    consuming traces produced by :mod:`repro.campaign`.
 
+Execution is configured through one object — :class:`repro.RunOptions`
+— accepted uniformly by :func:`run_campaign`, :func:`run_campaigns`,
+the analysis entry points, and ``repro.live``; the resilient execution
+layer (retry/backoff, chaos injection, crash-safe checkpointed sweeps)
+lives in :mod:`repro.resilience` and plugs in via
+``RunOptions(resilience=..., checkpoint_dir=...)``.
+
 Quickstart::
 
-    from repro import CampaignConfig, ClusterSpec, run_campaign
+    from repro import CampaignConfig, ClusterSpec, RunOptions, run_campaign
     from repro.analysis import job_status_breakdown
 
     spec = ClusterSpec.rsc1_like(n_nodes=64, campaign_days=30)
@@ -34,26 +41,74 @@ from repro.jobtypes import (
     MAX_JOB_LIFETIME,
     QosTier,
 )
+from repro.options import DEFAULT_OPTIONS, RUN_OPTIONS_VERSION, RunOptions
 from repro.workload.profiles import WorkloadProfile, rsc1_profile, rsc2_profile
 from repro.workload.trace import NodeTraceRecord, Trace
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # Heavier stable-surface members (pool, cache, live, obs, resilience)
+    # resolve lazily so `import repro` stays import-light; each is a
+    # first-class re-export, present in __all__ and dir(repro).
+    if name in _LAZY_EXPORTS:
+        module, attr = _LAZY_EXPORTS[name]
+        import importlib
+
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+_LAZY_EXPORTS = {
+    "CampaignPool": ("repro.runtime.pool", "CampaignPool"),
+    "run_campaigns": ("repro.runtime.pool", "run_campaigns"),
+    "seed_sweep_configs": ("repro.runtime.pool", "seed_sweep_configs"),
+    "TraceCache": ("repro.runtime.cache", "TraceCache"),
+    "LiveAnalytics": ("repro.live.analytics", "LiveAnalytics"),
+    "Telemetry": ("repro.obs.telemetry", "Telemetry"),
+    "ResilienceConfig": ("repro.resilience.config", "ResilienceConfig"),
+    "ChaosPolicy": ("repro.resilience.chaos", "ChaosPolicy"),
+    "CampaignCheckpoint": (
+        "repro.resilience.checkpoint",
+        "CampaignCheckpoint",
+    ),
+}
+
+
+def __dir__():
+    return sorted(set(list(globals()) + list(_LAZY_EXPORTS)))
+
+
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignConfig",
-    "run_campaign",
+    "CampaignPool",
+    "ChaosPolicy",
     "Cluster",
     "ClusterSpec",
+    "DEFAULT_OPTIONS",
     "IntendedOutcome",
     "JobAttemptRecord",
     "JobState",
+    "LiveAnalytics",
     "MAX_JOB_LIFETIME",
+    "NodeTraceRecord",
     "QosTier",
+    "RUN_OPTIONS_VERSION",
+    "ResilienceConfig",
+    "RunOptions",
+    "Telemetry",
+    "Trace",
+    "TraceCache",
     "WorkloadProfile",
+    "run_campaign",
+    "run_campaigns",
     "rsc1_profile",
     "rsc2_profile",
-    "NodeTraceRecord",
-    "Trace",
+    "seed_sweep_configs",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.core.ettr import ETTRParameters, expected_ettr
 from repro.core.metrics import ETTRAssumptions, job_run_ettr
 from repro.core.mttf import node_failure_rate, size_bucket
 from repro.jobtypes import QosTier
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.sim.timeunits import DAY, HOUR
 from repro.stats.bootstrap import bootstrap_mean_ci
 from repro.workload.jobruns import JobRun, filter_runs, group_job_runs
@@ -82,7 +83,9 @@ def ettr_comparison(
     qos: Optional[QosTier] = QosTier.HIGH,
     min_runs_per_bucket: int = 2,
     use_ground_truth: bool = True,
-    use_columns: bool = True,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> ETTRComparison:
     """Compute Fig. 9 from a trace.
 
@@ -102,6 +105,9 @@ def ettr_comparison(
             "no job runs pass the Fig. 9 cohort filter; relax "
             "min_total_runtime or qos"
         )
+    use_columns = resolve_options(
+        options, "ettr_comparison", use_columns=use_columns
+    ).use_columns
     columns = trace.columns.jobs if use_columns else None
     if columns is not None:
         largest = int(columns.n_gpus.max())

@@ -4,6 +4,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.report import render_table
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.core.goodput import (
     CrashLoop,
     GoodputLoss,
@@ -60,13 +61,20 @@ class GoodputLossAnalysis:
 
 
 def goodput_loss_analysis(
-    trace: Trace, min_loop_interruptions: int = 5, use_columns: bool = True
+    trace: Trace,
+    min_loop_interruptions: int = 5,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> GoodputLossAnalysis:
     """Compute Fig. 8 from a trace.
 
     ``use_columns`` routes the bucket sums and crash-loop tallies through
     the trace's job columns; ``False`` is the rowwise reference path.
     """
+    use_columns = resolve_options(
+        options, "goodput_loss_analysis", use_columns=use_columns
+    ).use_columns
     columns = trace.columns.jobs if use_columns else None
     losses = lost_goodput_by_size(trace.job_records, columns=columns)
     share = second_order_fraction(losses) if losses else 0.0

@@ -7,11 +7,13 @@ failures per 1000 node-days).
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.job_sizes import job_size_distribution
 from repro.analysis.job_status import job_status_breakdown
 from repro.analysis.report import render_table
 from repro.core.mttf import node_failure_rate
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.workload.trace import Trace
 
 
@@ -66,17 +68,23 @@ class HeadlineNumbers:
 
 
 def headline_numbers(
-    trace: Trace, use_ground_truth: bool = True, use_columns: bool = True
+    trace: Trace,
+    use_ground_truth: bool = True,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> HeadlineNumbers:
     """Compute the headline scalars from a trace.
 
-    ``use_columns`` selects the vectorized path through the figure
-    helpers and r_f; ``False`` is the rowwise benchmark reference.
+    ``options.use_columns`` selects the vectorized path through the
+    figure helpers and r_f; ``False`` is the rowwise benchmark
+    reference.  The ``use_columns=`` keyword is the deprecated spelling.
     """
-    status = job_status_breakdown(trace, use_columns=use_columns)
-    sizes = job_size_distribution(trace, use_columns=use_columns)
+    opts = resolve_options(options, "headline_numbers", use_columns=use_columns)
+    status = job_status_breakdown(trace, options=opts)
+    sizes = job_size_distribution(trace, options=opts)
     utilization = trace.total_gpu_seconds() / (trace.n_gpus * trace.span_seconds)
-    columns = trace.columns.jobs if use_columns else None
+    columns = trace.columns.jobs if opts.use_columns else None
     if columns is not None:
         largest = int(columns.n_gpus.max())
     else:

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.report import render_table
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.stats.quantiles import histogram_by_bucket, power_of_two_bucket
 from repro.workload.profiles import WorkloadProfile
 from repro.workload.trace import Trace
@@ -64,7 +65,9 @@ class JobSizeDistribution:
 def job_size_distribution(
     trace: Trace,
     profile: Optional[WorkloadProfile] = None,
-    use_columns: bool = True,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> JobSizeDistribution:
     """Compute Fig. 6 from a trace (deduplicating attempts to jobs).
 
@@ -79,6 +82,9 @@ def job_size_distribution(
     records = trace.job_records
     if not records:
         raise ValueError("trace has no job records")
+    use_columns = resolve_options(
+        options, "job_size_distribution", use_columns=use_columns
+    ).use_columns
     if use_columns:
         job_hist, compute_hist = _size_histograms_columnar(trace)
     else:

@@ -7,9 +7,10 @@ that they are ~0.2% of jobs but ~19% of GPU runtime.
 """
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import render_table
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.jobtypes import JobState
 from repro.workload.trace import Trace
 
@@ -51,15 +52,24 @@ class JobStatusBreakdown:
 
 
 def job_status_breakdown(
-    trace: Trace, use_columns: bool = True
+    trace: Trace,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> JobStatusBreakdown:
     """Compute Fig. 3 from a trace's attempt records.
 
+    ``options`` (:class:`repro.RunOptions`) selects the execution path:
     ``use_columns=True`` (default) aggregates per-state counts and GPU
-    time with ``np.bincount`` over the trace's typed job columns;
-    ``use_columns=False`` keeps the rowwise loop as the benchmark
-    reference path.  Both include exactly the states that occurred.
+    time with ``np.bincount`` over the trace's typed job columns, the
+    rowwise loop is the benchmark reference.  Both include exactly the
+    states that occurred.  The ``use_columns=`` keyword is the
+    deprecated spelling.
     """
+    opts = resolve_options(
+        options, "job_status_breakdown", use_columns=use_columns
+    )
+    use_columns = opts.use_columns
     records = trace.job_records
     if not records:
         raise ValueError("trace has no job records")

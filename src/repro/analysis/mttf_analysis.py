@@ -6,9 +6,10 @@ the paper's extrapolations to 16,384 and 131,072 GPUs.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.core.mttf import (
     MTTFBucket,
     empirical_mttf_by_size,
@@ -79,7 +80,9 @@ def mttf_analysis(
     min_gpus_for_rate: int = 128,
     use_ground_truth: bool = True,
     projection_sizes: Sequence[int] = PROJECTION_SIZES,
-    use_columns: bool = True,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> MTTFAnalysis:
     """Compute Fig. 7 from a trace.
 
@@ -91,6 +94,9 @@ def mttf_analysis(
     records = trace.job_records
     if not records:
         raise ValueError("trace has no job records")
+    use_columns = resolve_options(
+        options, "mttf_analysis", use_columns=use_columns
+    ).use_columns
     columns = trace.columns.jobs if use_columns else None
     if columns is not None:
         largest = int(columns.n_gpus.max())

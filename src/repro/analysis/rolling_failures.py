@@ -8,11 +8,12 @@ episodic regimes (driver bug, mount wave, IB-link spike).
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.report import render_series
+from repro.options import RunOptions, UNSET, resolve_options
 from repro.sim.timeunits import DAY
 from repro.stats.rolling import rolling_rate
 from repro.workload.trace import Trace
@@ -58,7 +59,9 @@ def failure_rate_timeline(
     trace: Trace,
     window_days: float = None,
     step_days: float = 1.0,
-    use_columns: bool = True,
+    options: Optional[RunOptions] = None,
+    *,
+    use_columns=UNSET,
 ) -> FailureRateTimeline:
     """Compute Fig. 5 from the trace's incident events.
 
@@ -74,6 +77,9 @@ def failure_rate_timeline(
     if window_days is None:
         # The paper's 30-day window on an 11-month span, proportionally.
         window_days = max(1.0, span_days * (30.0 / 330.0))
+    use_columns = resolve_options(
+        options, "failure_rate_timeline", use_columns=use_columns
+    ).use_columns
     if use_columns:
         times, comp_times_by_name, first_fire = _event_series_columnar(trace)
     else:

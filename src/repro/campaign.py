@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.options import DEFAULT_OPTIONS, RunOptions, UNSET, resolve_options
 from repro.scheduler.engine import SlurmLikeScheduler
 from repro.scheduler.quota import QuotaManager
 from repro.sim.engine import Engine
@@ -94,8 +95,17 @@ class Campaign:
         self,
         config: CampaignConfig,
         telemetry: Optional["Telemetry"] = None,
-        incremental_indices: bool = True,
+        incremental_indices: Optional[bool] = None,
+        options: Optional["RunOptions"] = None,
     ):
+        # Campaign is the low-level runner object; its explicit keywords
+        # stay supported (no deprecation), with ``options`` filling any
+        # that were not passed.
+        opts = options if options is not None else DEFAULT_OPTIONS
+        if telemetry is None:
+            telemetry = opts.telemetry
+        if incremental_indices is None:
+            incremental_indices = opts.incremental_indices
         self.config = config
         #: Observability bundle (repro.obs.Telemetry).  Deliberately NOT a
         #: CampaignConfig field: telemetry must never influence the cache
@@ -295,18 +305,23 @@ class Campaign:
 
 def run_campaign(
     config: CampaignConfig,
-    telemetry: Optional["Telemetry"] = None,
-    incremental_indices: bool = True,
+    options: Optional["RunOptions"] = None,
+    *,
+    telemetry=UNSET,
+    incremental_indices=UNSET,
 ) -> Trace:
     """One-call convenience: build and run a campaign.
 
-    ``telemetry`` (a :class:`repro.obs.Telemetry`) attaches the tracing/
-    metrics layer for this run only; it never changes the simulated trace.
-    ``incremental_indices=False`` selects the brute-force scan reference
-    path (benchmark baseline); the trace is identical either way.
+    ``options`` (a :class:`repro.RunOptions`) is the supported way to
+    select the execution strategy — telemetry bundle, incremental vs
+    reference indices; none of it changes the simulated trace.  The
+    ``telemetry=``/``incremental_indices=`` keywords are the deprecated
+    pre-``RunOptions`` spelling and emit a :class:`DeprecationWarning`.
     """
-    return Campaign(
-        config,
+    opts = resolve_options(
+        options,
+        "run_campaign",
         telemetry=telemetry,
         incremental_indices=incremental_indices,
-    ).run()
+    )
+    return Campaign(config, options=opts).run()

@@ -5,15 +5,25 @@ Subcommands::
     repro campaign  --cluster rsc1 --nodes 64 --days 30 --seed 42 \
                     --out trace.jsonl [--lemon-detection] [--risk-aware]
     repro campaign  --seeds 0,1,2,3 --workers 4      # pooled multi-seed sweep
+    repro campaign  --seeds 0..7 --resume ckpt/      # crash-safe, resumable
     repro campaign  --telemetry out/ ...             # + obs streams per trace
+    repro run       ...                              # alias for campaign
     repro analyze   --trace trace.jsonl --figure fig3
     repro analyze   --trace trace.jsonl --figure all
     repro live      --trace trace.jsonl [--report-every 5] \
                     [--snapshot-out live.json] [--resume live.json]
     repro live      --cluster rsc1 --nodes 64 --days 30 --seed 42  # tap a fresh sim
+    repro live      --telemetry out/ ...             # + obs stream for the session
     repro obs summary out/                           # telemetry run report
     repro sweep     [--gpus 100000]
     repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
+
+The shared flags are normalized across subcommands (parent parsers):
+``--cluster/--nodes/--days/--seed`` mean the same thing to ``campaign``
+and ``live``; ``--telemetry DIR`` is the same observability switch
+everywhere; ``--resume`` always means "continue from saved state" (a
+sweep checkpoint directory for ``campaign``, an estimator snapshot for
+``live``).
 
 ``repro live`` streams a trace (or a freshly simulated campaign) through
 the online estimators in ``repro.live``, printing periodic reliability
@@ -112,11 +122,22 @@ def _run_campaigns_with_telemetry(args, configs, seeds) -> int:
     """
     from repro.campaign import run_campaign
     from repro.obs import Telemetry
+    from repro.options import RunOptions
     from repro.runtime import TraceCache
 
     telemetry_dir = Path(args.telemetry)
     telemetry_dir.mkdir(parents=True, exist_ok=True)
     cache = None if args.no_cache else TraceCache()
+    checkpoint = None
+    if getattr(args, "resume", None):
+        from repro.resilience import CampaignCheckpoint
+
+        checkpoint = CampaignCheckpoint(args.resume)
+        try:
+            checkpoint.begin(configs)
+        except ValueError as err:
+            logger.error("%s", err)
+            return 2
     multi = len(seeds) > 1
     for seed, config in zip(seeds, configs):
         out = _seed_out_path(args.out, seed, multi=multi)
@@ -125,11 +146,17 @@ def _run_campaigns_with_telemetry(args, configs, seeds) -> int:
             # Route this seed's cache traffic into this seed's stream.
             cache.telemetry = telemetry
         try:
-            trace = cache.get(config) if cache is not None else None
+            trace = checkpoint.load(config) if checkpoint is not None else None
             if trace is None:
-                trace = run_campaign(config, telemetry=telemetry)
+                trace = cache.get(config) if cache is not None else None
+            if trace is None:
+                trace = run_campaign(
+                    config, options=RunOptions(telemetry=telemetry)
+                )
                 if cache is not None:
                     cache.put(config, trace)
+            if checkpoint is not None:
+                checkpoint.record(config, trace)
         finally:
             telemetry.finalize()
         trace.save(out)
@@ -189,10 +216,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.telemetry:
         return _run_campaigns_with_telemetry(args, configs, seeds)
+    from repro.options import RunOptions
+
     pool = CampaignPool(
-        max_workers=args.workers, cache=False if args.no_cache else None
+        options=RunOptions(
+            workers=args.workers,
+            cache=False if args.no_cache else None,
+            checkpoint_dir=args.resume,
+        )
     )
-    traces = pool.run(configs)
+    try:
+        traces = pool.run(configs)
+    except ValueError as err:
+        # e.g. --resume directory belonging to a different sweep
+        logger.error("%s", err)
+        return 2
     for seed, trace in zip(seeds, traces):
         out = _seed_out_path(args.out, seed, multi=len(seeds) > 1)
         trace.save(out)
@@ -224,6 +262,12 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.rf_min_gpus is not None:
         overrides["rf_min_gpus"] = args.rf_min_gpus
 
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.to_directory(args.telemetry, stem="live")
+
     state = {"next_report": args.report_every, "reported_at": -1.0}
 
     def maybe_report(analytics: "LiveAnalytics") -> None:
@@ -243,7 +287,9 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.trace:
         trace = Trace.load(args.trace)
         if args.resume:
-            analytics = LiveAnalytics.load_snapshot(args.resume)
+            analytics = LiveAnalytics.load_snapshot(
+                args.resume, telemetry=telemetry
+            )
             logger.info(
                 "resuming from %s at day %.2f (%d items ingested)",
                 args.resume,
@@ -254,7 +300,9 @@ def cmd_live(args: argparse.Namespace) -> int:
                 (analytics.watermark / DAY) // args.report_every + 1
             ) * args.report_every if args.report_every else 0
         else:
-            analytics = LiveAnalytics(LiveConfig.for_trace(trace, **overrides))
+            analytics = LiveAnalytics(
+                LiveConfig.for_trace(trace, **overrides), telemetry=telemetry
+            )
         bus = replay_trace(
             trace,
             analytics,
@@ -283,7 +331,8 @@ def cmd_live(args: argparse.Namespace) -> int:
                 n_gpus=spec.n_gpus,
                 span_seconds=args.days * DAY,
                 **overrides,
-            )
+            ),
+            telemetry=telemetry,
         )
         logger.info(
             "tapping a fresh %s campaign: %d nodes x %s days (seed %d)",
@@ -306,6 +355,13 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.snapshot_out:
         path = analytics.save_snapshot(args.snapshot_out)
         logger.info("final snapshot: %s", path)
+    if telemetry is not None:
+        telemetry.finalize()
+        logger.info(
+            "telemetry in %s (render with: repro obs summary %s)",
+            args.telemetry,
+            args.telemetry,
+        )
     stats = bus.stats
     logger.info(
         "stream: %d items in %d flushes (max depth %d, dropped %d)",
@@ -401,6 +457,42 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parent_parsers():
+    """Shared argument groups, normalized across subcommands.
+
+    Every subcommand that simulates takes the same ``--cluster/--nodes/
+    --days/--seed`` quartet; every one that sweeps takes the same
+    ``--seeds/--workers/--no-cache``; every one that can observe takes
+    the same ``--telemetry DIR``.  Parent parsers make that a structural
+    guarantee instead of a convention.
+    """
+    cluster = argparse.ArgumentParser(add_help=False)
+    cluster.add_argument("--cluster", choices=("rsc1", "rsc2"),
+                         default="rsc1", help="cluster profile to simulate")
+    cluster.add_argument("--nodes", type=int, default=64)
+    cluster.add_argument("--days", type=float, default=30.0)
+    cluster.add_argument("--seed", type=int, default=0)
+
+    sweep = argparse.ArgumentParser(add_help=False)
+    sweep.add_argument("--seeds", default=None,
+                       help="comma-separated seed sweep run through the "
+                            "campaign pool (overrides --seed); writes one "
+                            "<out>-seedN.jsonl per seed")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="max worker processes for --seeds sweeps "
+                            "(default: CPU count)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-addressed trace cache")
+
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write structured telemetry (.events.jsonl streams plus "
+             ".metrics.json snapshots) into DIR; inspect with "
+             "`repro obs summary DIR`")
+    return cluster, sweep, telemetry
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -419,26 +511,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="errors only on stderr (stdout results are unaffected)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    cluster_parent, sweep_parent, telemetry_parent = _parent_parsers()
 
-    p = sub.add_parser("campaign", help="simulate a cluster campaign")
-    p.add_argument("--cluster", choices=("rsc1", "rsc2"), default="rsc1")
-    p.add_argument("--nodes", type=int, default=64)
-    p.add_argument("--days", type=float, default=30.0)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--seeds", default=None,
-                   help="comma-separated seed sweep run through the "
-                        "campaign pool (overrides --seed); writes one "
-                        "<out>-seedN.jsonl per seed")
-    p.add_argument("--workers", type=int, default=None,
-                   help="max worker processes for --seeds sweeps "
-                        "(default: CPU count)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="bypass the content-addressed trace cache")
+    p = sub.add_parser(
+        "campaign", aliases=["run"],
+        parents=[cluster_parent, sweep_parent, telemetry_parent],
+        help="simulate a cluster campaign",
+    )
     p.add_argument("--out", default="trace.jsonl")
-    p.add_argument("--telemetry", default=None, metavar="DIR",
-                   help="write structured telemetry (a .events.jsonl stream "
-                        "and a .metrics.json snapshot per trace) into DIR; "
-                        "inspect with `repro obs summary DIR`")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="crash-safe sweep checkpoint directory: completed "
+                        "seeds persist there and a re-run with the same "
+                        "DIR resumes bit-identically")
     p.add_argument("--lemon-detection", action="store_true")
     p.add_argument("--risk-aware", action="store_true",
                    help="reliability-aware gang placement")
@@ -446,17 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "live",
+        parents=[cluster_parent, telemetry_parent],
         help="stream a trace or fresh campaign through the online "
              "reliability estimators",
     )
     p.add_argument("--trace", default=None,
                    help="replay a saved trace; omit to tap a fresh "
                         "simulation instead")
-    p.add_argument("--cluster", choices=("rsc1", "rsc2"), default="rsc1",
-                   help="fresh-simulation mode: cluster profile")
-    p.add_argument("--nodes", type=int, default=64)
-    p.add_argument("--days", type=float, default=30.0)
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--window-days", type=float, default=None,
                    help="rolling failure-rate window (default: the batch "
                         "Fig. 5 rule, 30d scaled by span/330)")

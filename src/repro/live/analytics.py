@@ -94,9 +94,25 @@ class LiveConfig:
 class LiveAnalytics:
     """All online estimators behind one ingest point."""
 
-    def __init__(self, config: LiveConfig, telemetry=None):
+    def __init__(
+        self,
+        config: LiveConfig,
+        telemetry=None,
+        strict: bool = True,
+        options: Optional["RunOptions"] = None,
+    ):
+        if telemetry is None and options is not None:
+            telemetry = options.telemetry
         self.config = config
         self.telemetry = telemetry
+        #: ``strict=True`` (default) raises on malformed stream items —
+        #: in-process taps are bug-free by construction, so corruption
+        #: there is a programming error.  ``strict=False`` is the
+        #: posture for untrusted transports (and chaos injection): a
+        #: malformed or unroutable item is counted and dropped, never
+        #: allowed to poison estimator state.
+        self.strict = strict
+        self.malformed = 0
         self.watermark = 0.0
         self.finished = False
         self.counts: Dict[str, int] = {
@@ -124,28 +140,49 @@ class LiveAnalytics:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
+    def _reject(self, item, why: str) -> None:
+        if self.strict:
+            raise ValueError(why)
+        self.malformed += 1
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.metrics.counter("live_malformed_total").inc()
+
     def ingest(self, item: StreamItem) -> None:
-        """Consume one stream item (the bus subscriber)."""
-        channel = item.channel
+        """Consume one stream item (the bus subscriber).
+
+        In strict mode (default) a malformed item raises ``ValueError``;
+        otherwise it is counted in ``self.malformed`` and dropped before
+        it can touch any estimator or the watermark.
+        """
+        channel = getattr(item, "channel", None)
+        if channel not in self.counts:
+            self._reject(item, f"unknown stream channel {channel!r}")
+            return
+        payload = item.payload
+        time = item.time
+        if payload is None or not isinstance(time, (int, float)):
+            self._reject(
+                item, f"malformed stream item on channel {channel!r}"
+            )
+            return
         self.counts[channel] += 1
-        if item.time > self.watermark:
-            self.watermark = item.time
+        if time > self.watermark:
+            self.watermark = time
             self.rolling.advance(self.watermark)
         if channel == CHANNEL_JOB:
-            record = item.payload
+            record = payload
             self.mttf.observe_job(record)
             self.ettr.observe_job(record)
             self.lemons.observe_job(record)
             self.fleet.observe_job(record)
         elif channel == CHANNEL_EVENT:
-            event = item.payload
+            event = payload
             self.rolling.observe_event(event)
             self.lemons.observe_event(event)
             self.fleet.observe_event(event)
-        elif channel == CHANNEL_NODE:
-            self.lemons.observe_node(item.payload)
         else:
-            raise ValueError(f"unknown stream channel {channel!r}")
+            self.lemons.observe_node(payload)
         self._publish_metrics(channel)
 
     def finish(self, end: Optional[float] = None) -> None:
@@ -190,6 +227,9 @@ class LiveAnalytics:
             "watermark": self.watermark,
             "finished": self.finished,
             "counts": dict(self.counts),
+            # Additive since v1 (absent in old snapshots => 0); the
+            # schema version only bumps on incompatible changes.
+            "malformed": self.malformed,
             "estimators": {
                 "rolling": self.rolling.state_dict(),
                 "mttf": self.mttf.state_dict(),
@@ -215,6 +255,7 @@ class LiveAnalytics:
         analytics.watermark = float(payload["watermark"])
         analytics.finished = bool(payload["finished"])
         analytics.counts = {k: int(v) for k, v in payload["counts"].items()}
+        analytics.malformed = int(payload.get("malformed", 0))
         est = payload["estimators"]
         analytics.rolling = RollingFailureRateEstimator.from_state(
             est["rolling"]

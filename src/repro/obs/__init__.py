@@ -24,13 +24,14 @@ change a campaign's trace digest.
 
 Quickstart::
 
-    from repro import CampaignConfig, ClusterSpec, run_campaign
+    from repro import CampaignConfig, ClusterSpec, RunOptions, run_campaign
     from repro.obs import Telemetry
 
     tel = Telemetry.to_directory("out/", stem="trace")
     spec = ClusterSpec.rsc1_like(n_nodes=32, campaign_days=10)
     trace = run_campaign(
-        CampaignConfig(cluster_spec=spec, duration_days=10), telemetry=tel
+        CampaignConfig(cluster_spec=spec, duration_days=10),
+        RunOptions(telemetry=tel),
     )
     tel.finalize()          # writes out/trace.metrics.json
     # then: repro obs summary out/

@@ -117,6 +117,9 @@ class ObsSummary:
     engine_events_executed: int = 0
     engine_wall_seconds: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: counter name -> value for ``resilience_*_total`` recovery
+    #: counters (retries, respawns, quarantines, timeouts, ...).
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_ratio(self) -> Optional[float]:
@@ -171,6 +174,15 @@ class ObsSummary:
             self.sched_attempts_by_state[state] = (
                 self.sched_attempts_by_state.get(state, 0) + 1
             )
+        elif category == "resilience.retry":
+            self.resilience["resilience_retries_total"] = (
+                self.resilience.get("resilience_retries_total", 0) + 1
+            )
+        elif category == "cache.quarantine":
+            self.resilience["resilience_cache_quarantined_total"] = (
+                self.resilience.get("resilience_cache_quarantined_total", 0)
+                + 1
+            )
 
     def add_metrics_snapshot(self, snapshot: Dict[str, Any]) -> None:
         for entry in snapshot.get("counters", []):
@@ -180,6 +192,14 @@ class ObsSummary:
                 self.cache_hits += value
             elif name == "trace_cache_misses_total":
                 self.cache_misses += value
+            elif name and name.startswith("resilience_"):
+                # Event-derived counts (resilience.retry/cache.quarantine
+                # streams) already cover the tracer-enabled case; prefer
+                # the registry value when both exist rather than double
+                # counting.
+                self.resilience[name] = max(
+                    self.resilience.get(name, 0), value
+                )
         for entry in snapshot.get("histograms", []):
             if entry.get("name") == "campaign_phase_seconds":
                 phase = entry.get("labels", {}).get("phase", "unknown")
@@ -301,6 +321,19 @@ class ObsSummary:
             parts.append(
                 "\nCampaign phases (wall time)\n"
                 + _table(["phase", "total"], rows)
+            )
+
+        if any(self.resilience.values()):
+            rows = [
+                (name, f"{count:,}")
+                for name, count in sorted(
+                    self.resilience.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+                if count
+            ]
+            parts.append(
+                "\nResilience (recovery actions)\n"
+                + _table(["counter", "count"], rows)
             )
         return "\n".join(parts)
 

@@ -147,6 +147,11 @@ class Tracer:
     sink (or a :class:`NullSink`) defaults to disabled.
     """
 
+    #: Consecutive sink write failures tolerated before the tracer turns
+    #: itself off.  Telemetry must never take the simulation down: a
+    #: flaky disk degrades observability, not results.
+    SINK_ERROR_LIMIT = 8
+
     def __init__(
         self,
         sink: Optional[object] = None,
@@ -158,12 +163,20 @@ class Tracer:
             enabled = not isinstance(self.sink, NullSink)
         self.enabled = bool(enabled)
         self.events_emitted = 0
+        self.sink_errors = 0
+        self._consecutive_sink_errors = 0
         self._clock = clock
 
     def emit(
         self, category: str, label: str, sim_time: float, **attrs: Any
     ) -> Optional[ObsEvent]:
-        """Record one event; no-op (returning None) when disabled."""
+        """Record one event; no-op (returning None) when disabled.
+
+        A sink ``OSError``/``ValueError`` is swallowed and counted in
+        ``sink_errors``; after :data:`SINK_ERROR_LIMIT` consecutive
+        failures the tracer disables itself (observability degrades, the
+        run continues).
+        """
         if not self.enabled:
             return None
         event = ObsEvent(
@@ -173,7 +186,15 @@ class Tracer:
             label=label,
             attrs=attrs,
         )
-        self.sink.write(event)
+        try:
+            self.sink.write(event)
+        except (OSError, ValueError):
+            self.sink_errors += 1
+            self._consecutive_sink_errors += 1
+            if self._consecutive_sink_errors >= self.SINK_ERROR_LIMIT:
+                self.enabled = False
+            return None
+        self._consecutive_sink_errors = 0
         self.events_emitted += 1
         return event
 

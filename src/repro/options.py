@@ -1,0 +1,173 @@
+"""``RunOptions``: the one object that configures *how* things run.
+
+Four PRs of runtime growth left execution knobs scattered across call
+sites — ``use_columns=`` on every analysis function, ``telemetry=`` and
+``incremental_indices=`` on the campaign runner, ``max_workers=`` /
+``cache=`` on the pool, and environment variables for the cache
+directory.  :class:`RunOptions` consolidates them behind one frozen,
+versioned surface that ``run_campaign``, ``run_campaigns``,
+``CampaignPool``, the analysis entry points, and ``repro.live`` all
+accept uniformly::
+
+    from repro import RunOptions, run_campaign
+
+    opts = RunOptions(telemetry=tel, workers=4)
+    trace = run_campaign(config, options=opts)
+
+**None of these knobs may influence simulated content.**  Every field
+here selects an execution strategy (vectorized vs rowwise, pooled vs
+inline, cached vs fresh, observed vs dark); the resulting traces are
+bit-identical across all settings, which is why ``RunOptions`` never
+enters a cache key or a trace digest.
+
+Legacy keyword arguments (``use_columns=``, ``incremental_indices=``,
+``telemetry=``, ``max_workers=``, ``cache=``) keep working everywhere
+they did before, but emit exactly one :class:`DeprecationWarning` per
+call and are merged into the options object by :func:`resolve_options`.
+"""
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.obs.telemetry import Telemetry
+    from repro.resilience.config import ResilienceConfig
+    from repro.runtime.cache import TraceCache
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default value for deprecated keyword parameters: "the caller said
+#: nothing", as opposed to an explicit ``None``/``False``.
+UNSET = _Unset()
+
+#: Bump when the meaning of an existing field changes (new fields with
+#: backward-compatible defaults do not require a bump).
+RUN_OPTIONS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution strategy for campaigns, sweeps, analyses, and live sessions.
+
+    Attributes:
+        use_columns: Route analyses through the vectorized columnar
+            pipeline (default) or the rowwise reference loops.
+        incremental_indices: Run the cluster/scheduler on the incremental
+            availability indices (default) or the O(N)-scan reference
+            path.
+        telemetry: Optional :class:`repro.obs.Telemetry` bundle observing
+            the run.  Never affects simulated content.
+        cache: A :class:`repro.runtime.TraceCache`, ``None`` for the
+            default cache (honoring ``REPRO_TRACE_CACHE``), or ``False``
+            to disable caching.
+        cache_dir: Root directory for the default cache when ``cache``
+            is ``None`` (overrides the environment resolution).
+        workers: Max worker processes for pooled sweeps (``None`` =
+            CPU count, ``1`` = inline).
+        resilience: A :class:`repro.resilience.ResilienceConfig`
+            controlling retry/backoff, chaos injection, and the circuit
+            breaker; ``None`` uses the default policy.
+        checkpoint_dir: Directory for crash-safe sweep checkpoints
+            (completed-seed manifest + partial results); ``None``
+            disables checkpointing.
+    """
+
+    use_columns: bool = True
+    incremental_indices: bool = True
+    telemetry: Optional["Telemetry"] = None
+    cache: Union["TraceCache", bool, None] = None
+    cache_dir: Optional[str] = None
+    workers: Optional[int] = None
+    resilience: Optional["ResilienceConfig"] = None
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        """Frozen-dataclass update (``dataclasses.replace`` convenience)."""
+        return replace(self, **changes)
+
+    def resolved_cache(self) -> Optional["TraceCache"]:
+        """Materialize the cache these options describe (or ``None``)."""
+        from repro.runtime.cache import TraceCache
+
+        if self.cache is False:
+            return None
+        if self.cache is None or self.cache is True:
+            return TraceCache(root=self.cache_dir)
+        return self.cache
+
+
+#: The implicit default everywhere an ``options=None`` is accepted.
+DEFAULT_OPTIONS = RunOptions()
+
+_FIELD_NAMES = frozenset(f.name for f in fields(RunOptions))
+
+
+def resolve_options(
+    options: Optional[RunOptions],
+    where: str,
+    renames: Optional[Dict[str, str]] = None,
+    **legacy: Any,
+) -> RunOptions:
+    """Merge deprecated keyword arguments into a :class:`RunOptions`.
+
+    ``legacy`` maps the *original* keyword names to their passed values
+    (``UNSET`` meaning "not passed"); ``renames`` maps original names to
+    ``RunOptions`` field names where they differ (``max_workers`` ->
+    ``workers``).  If any legacy keyword was passed, exactly one
+    :class:`DeprecationWarning` is emitted naming them all, and the
+    values override the corresponding ``options`` fields — so the legacy
+    path and the options path are the same code path and produce
+    identical results by construction.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    base = options if options is not None else DEFAULT_OPTIONS
+    if not passed:
+        return base
+    names = ", ".join(f"{k}=" for k in sorted(passed))
+    warnings.warn(
+        f"{where}: {names} is deprecated; pass repro.RunOptions(...) "
+        "via options= instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    renames = renames or {}
+    updates = {}
+    for key, value in passed.items():
+        field_name = renames.get(key, key)
+        if field_name not in _FIELD_NAMES:  # pragma: no cover - guard
+            raise TypeError(
+                f"{where}: unknown legacy option {key!r} "
+                f"(no RunOptions field {field_name!r})"
+            )
+        updates[field_name] = value
+    return base.replace(**updates)
+
+
+__all__ = [
+    "DEFAULT_OPTIONS",
+    "RUN_OPTIONS_VERSION",
+    "RunOptions",
+    "UNSET",
+    "resolve_options",
+]

@@ -1,0 +1,245 @@
+"""Crash-safe sweeps: the completed-seed manifest + partial results.
+
+``run_campaigns`` over N configs is minutes of work; a SIGKILL at 90%
+used to throw all of it away.  A :class:`CampaignCheckpoint` makes the
+sweep resumable: completed traces are stored in a content-addressed
+entry store (the same digest-verified npz format as the trace cache)
+and a small JSON manifest records which config digests are done.  Both
+writes are atomic (write-temp-then-``os.replace``), so a kill at any
+byte boundary leaves either the previous consistent state or the next —
+never a torn one.
+
+Resuming is just running the same sweep again with the same checkpoint
+directory: completed configs load from the store (digest-verified, so a
+corrupt partial result re-simulates instead of poisoning the resumed
+sweep), the rest simulate, and the final result list is bit-identical
+to an uninterrupted run — the property
+``tests/resilience/test_checkpoint_resume.py`` asserts at 25/50/90%
+completion.
+
+The manifest is keyed by a ``run_id`` — a hash of the ordered config
+digests — so a checkpoint directory can never silently serve a
+*different* sweep's partial results.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.cache import TraceCache
+
+
+def _config_digest(config) -> str:
+    # Imported lazily: repro.runtime.pool imports this module, so a
+    # module-level import of anything under repro.runtime would make
+    # ``import repro.resilience`` order-dependent (circular).
+    from repro.runtime.hashing import config_digest
+
+    return config_digest(config)
+
+
+def _partial_result_store(directory: Path) -> "TraceCache":
+    # Same lazy-import rationale as :func:`_config_digest`.
+    from repro.runtime.cache import TraceCache
+
+    return TraceCache(root=directory / "entries", enabled=True)
+
+
+#: Bump when the manifest document shape changes; resume rejects
+#: mismatches rather than guessing.
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def sweep_run_id(digests: Sequence[str]) -> str:
+    """Identity of one sweep: hash of its ordered config digests."""
+    h = hashlib.sha256()
+    for digest in digests:
+        h.update(digest.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class CampaignCheckpoint:
+    """Manifest + partial-result store for one resumable sweep.
+
+    Usage (normally via ``run_campaigns(..., options=RunOptions(
+    checkpoint_dir=...))`` or ``CampaignPool.run(configs,
+    checkpoint=...)``)::
+
+        ckpt = CampaignCheckpoint("sweep-ckpt/")
+        ckpt.begin(configs)
+        for config in configs:
+            trace = ckpt.load(config)          # None unless completed
+            if trace is None:
+                trace = run_campaign(config)
+                ckpt.record(config, trace)     # atomic store + manifest
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]):
+        self.directory = Path(directory)
+        #: Content-addressed, digest-verified npz store for the partial
+        #: results (deliberately the cache's entry machinery: atomic
+        #: writes, integrity stamps, quarantine of corrupt entries).
+        self.store = _partial_result_store(self.directory)
+        self.run_id: Optional[str] = None
+        self.digests: List[str] = []
+        self._completed: set = set()
+        self._dirty = False
+        self.loaded = 0
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # manifest IO
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _read_manifest(self) -> Optional[Dict]:
+        try:
+            payload = json.loads(self.manifest_path.read_text("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as err:
+            raise ValueError(
+                f"unreadable sweep manifest {self.manifest_path}: {err}"
+            ) from err
+        if payload.get("schema") != MANIFEST_VERSION:
+            raise ValueError(
+                f"sweep manifest schema {payload.get('schema')!r} does not "
+                f"match MANIFEST_VERSION={MANIFEST_VERSION}"
+            )
+        return payload
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "schema": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "total": len(self.digests),
+            "digests": self.digests,
+            "completed": sorted(self._completed),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-manifest-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+                fh.write("\n")
+            os.replace(tmp_name, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # sweep lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, configs: Sequence) -> "CampaignCheckpoint":
+        """Bind this checkpoint to a sweep; adopt any prior progress.
+
+        Raises ``ValueError`` if the directory already checkpoints a
+        *different* sweep (mismatched run_id) — partial results must
+        never leak across sweeps.
+        """
+        self.digests = [_config_digest(c) for c in configs]
+        self.run_id = sweep_run_id(self.digests)
+        existing = self._read_manifest()
+        if existing is not None:
+            if existing.get("run_id") != self.run_id:
+                raise ValueError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    f"different sweep (run_id {existing.get('run_id')!r} != "
+                    f"{self.run_id!r}); use a fresh directory"
+                )
+            ours = set(self.digests)
+            self._completed = {
+                d for d in existing.get("completed", []) if d in ours
+            }
+        else:
+            self._completed = set()
+            self._write_manifest()
+        return self
+
+    @property
+    def completed_digests(self) -> frozenset:
+        return frozenset(self._completed)
+
+    def is_complete(self, config) -> bool:
+        return _config_digest(config) in self._completed
+
+    def load(self, config) -> Optional[Trace]:
+        """Return the checkpointed trace for ``config``, or None.
+
+        A manifest entry whose stored trace is missing or fails the
+        integrity check simply returns None (the sweep re-simulates it);
+        the manifest is optimistic, the store is the authority.
+        """
+        if not self.is_complete(config):
+            return None
+        trace = self.store.get(config)
+        if trace is None:
+            # Torn or corrupt partial result: forget the completion so
+            # a later record() rewrites both store and manifest.
+            self._completed.discard(_config_digest(config))
+            return None
+        self.loaded += 1
+        runtime = dict(trace.metadata.get("runtime", {}))
+        runtime["source"] = "checkpoint"
+        trace.metadata["runtime"] = runtime
+        return trace
+
+    def record(self, config, trace: Trace, flush: bool = True) -> None:
+        """Persist one completed config: store entry, then manifest.
+
+        ``flush=False`` defers the manifest rewrite (the entry itself is
+        always written immediately); callers batching with
+        ``checkpoint_every > 1`` must call :meth:`flush` at the end.  A
+        crash between a deferred record and the flush only costs the
+        manifest line, not the entry.
+        """
+        self.store.put(config, trace)
+        self._completed.add(_config_digest(config))
+        self._dirty = True
+        if flush:
+            self.flush()
+        self.recorded += 1
+
+    def flush(self) -> None:
+        """Write the manifest if any record() was deferred."""
+        if self._dirty:
+            self._write_manifest()
+            self._dirty = False
+
+    def progress(self) -> Dict[str, int]:
+        return {
+            "total": len(self.digests),
+            "completed": len(self._completed),
+            "loaded": self.loaded,
+            "recorded": self.recorded,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignCheckpoint({self.directory}, "
+            f"{len(self._completed)}/{len(self.digests)} complete)"
+        )
+
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "CampaignCheckpoint",
+    "sweep_run_id",
+]

@@ -1,0 +1,133 @@
+"""Retry, backoff, and circuit-breaking for the execution layer.
+
+The paper's operational stance — failure is the steady state, so wrap
+every unit of work in detection and recovery — applied to the harness
+itself.  Three small, deterministic pieces:
+
+* :class:`Backoff` — exponential delay with *seeded* jitter.  The jitter
+  draw is a pure function of ``(seed, key, attempt)``, so a retried
+  sweep sleeps the same schedule every run: chaos experiments stay
+  reproducible down to their wall-clock shape.
+* :class:`RetryPolicy` — attempts budget + backoff + optional per-seed
+  timeout, the unit handed to :class:`repro.runtime.CampaignPool`.
+* :class:`CircuitBreaker` — counts consecutive pool-level failures
+  (dead workers, broken executors) and opens after a threshold, at
+  which point the pool degrades to inline execution instead of fighting
+  a broken multiprocessing environment.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilience.chaos import _unit_draw
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``delay(key, attempt)`` returns ``base_s * factor**attempt`` capped
+    at ``max_s``, scaled by a jitter factor in ``[1 - jitter, 1 + jitter]``
+    drawn from ``(seed, key, attempt)`` — same inputs, same delay.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base_s < 0:
+            raise ValueError("base_s must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, key: str, attempt: int) -> float:
+        raw = min(self.max_s, self.base_s * self.factor ** max(0, attempt))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        unit = _unit_draw(self.seed, "backoff", key, attempt)
+        return raw * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def sleep(self, key: str, attempt: int) -> float:
+        """Sleep the computed delay; returns the seconds slept."""
+        delay = self.delay(key, attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-unit-of-work retry budget for the campaign pool.
+
+    Attributes:
+        max_attempts: Total tries per config (1 = no retry).
+        backoff: Delay schedule between attempts.
+        timeout_s: Per-attempt wall-clock budget for pooled execution;
+            an attempt that exceeds it is treated as a dead worker
+            (killed, respawned, retried).  ``None`` disables timeouts.
+    """
+
+    max_attempts: int = 3
+    backoff: Backoff = field(default_factory=Backoff)
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive or None")
+
+    def retryable(self, attempt: int) -> bool:
+        """Whether attempt index ``attempt`` (0-based) may be retried."""
+        return attempt + 1 < self.max_attempts
+
+
+class CircuitBreaker:
+    """Consecutive-failure trip switch for the pooled execution path.
+
+    ``record_failure`` on every pool-level fault (broken executor, dead
+    worker wave, timeout sweep); ``record_success`` on any completed
+    pooled batch.  Once ``failures >= threshold`` the breaker is open
+    and stays open — within one pool, degrading to inline execution is
+    a one-way door (a broken multiprocessing environment does not heal
+    mid-sweep), but a fresh pool starts with a closed breaker.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self._open = False
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    def record_failure(self) -> bool:
+        """Count one pool-level failure; returns True if now open."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self._open = True
+        return self._open
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "closed"
+        return (
+            f"CircuitBreaker({state}, "
+            f"{self.consecutive_failures}/{self.threshold} consecutive)"
+        )
+
+
+__all__ = ["Backoff", "CircuitBreaker", "RetryPolicy"]

@@ -14,6 +14,15 @@ format v1 — old cache directories keep serving hits, and the cache key
 stamps; a stamp mismatch or unreadable file is treated as a miss (and the
 entry discarded), never as an error.
 
+Integrity: every entry carries the trace's content digest
+(``trace_digest``) in its stamps; reads recompute and compare, so silent
+payload corruption (bit rot, a torn write that still parses) can never
+serve a wrong trace.  A failed entry — unparseable, mis-stamped, or
+digest-mismatched — is *quarantined* (moved under ``<root>/quarantine/``
+and counted), treated as a miss, and rebuilt by the next ``put``; the
+returned traces of the surrounding sweep are unaffected, which
+``tests/resilience`` asserts under chaos-driven corruption.
+
 Control knobs:
 
 * ``REPRO_TRACE_CACHE=off`` (or ``0``/``no``/``false``/``disabled``)
@@ -21,6 +30,8 @@ Control knobs:
 * ``REPRO_TRACE_CACHE=/some/dir`` relocates it.
 * ``TraceCache(enabled=False)`` / ``CampaignPool(cache=False)`` disable it
   per call site.
+* ``TraceCache(verify=False)`` skips the digest re-check on read (the
+  npz CRC still catches most corruption).
 """
 
 import os
@@ -30,7 +41,11 @@ from pathlib import Path
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.core.columns import ColumnarTrace
-from repro.runtime.hashing import CACHE_FORMAT_VERSION, config_digest
+from repro.runtime.hashing import (
+    CACHE_FORMAT_VERSION,
+    config_digest,
+    trace_digest,
+)
 from repro.workload.trace import TRACE_SCHEMA_VERSION, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -74,12 +89,18 @@ class TraceCache:
         root: Optional[os.PathLike] = None,
         enabled: Optional[bool] = None,
         telemetry=None,
+        verify: bool = True,
     ):
         self.root = Path(root) if root is not None else default_cache_root()
         self.enabled = cache_enabled_by_env() if enabled is None else enabled
+        #: Recompute the stored trace digest on every read and reject
+        #: mismatches (quarantining the entry).  Legacy entries without a
+        #: digest stamp are served unverified either way.
+        self.verify = verify
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
         #: obs.Telemetry bundle; hit/miss/write traffic is mirrored into
         #: its tracer + registry when enabled.  Reassignable per call site
         #: (the CLI routes each seed's cache traffic to that seed's stream).
@@ -92,6 +113,11 @@ class TraceCache:
             telemetry.tracer.emit(
                 f"cache.{outcome}", digest[:12], 0.0, digest=digest
             )
+            if outcome == "quarantine":
+                telemetry.metrics.counter(
+                    "resilience_cache_quarantined_total"
+                ).inc()
+                return
             plural = {"hit": "hits", "miss": "misses", "write": "writes"}
             telemetry.metrics.counter(
                 f"trace_cache_{plural[outcome]}_total"
@@ -117,6 +143,25 @@ class TraceCache:
         """Path of an entry-format v1 pickle written by older builds."""
         return self._entry_path(digest).with_suffix(".pkl")
 
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path, digest: str) -> None:
+        """Move a failed entry aside (never served again, kept for
+        inspection) and account for it; falls back to unlink when the
+        move itself fails."""
+        target = self.quarantine_dir() / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+        self._observe("quarantine", digest)
+
     # ------------------------------------------------------------------
     # read / write
     # ------------------------------------------------------------------
@@ -128,7 +173,16 @@ class TraceCache:
             or stamps.get("digest") != digest
         ):
             raise ValueError("stale or mismatched cache entry")
-        return ColumnarTrace.load_npz(path).to_trace()
+        trace = ColumnarTrace.load_npz(path).to_trace()
+        stored_sha = stamps.get("trace_sha")
+        if self.verify and stored_sha is not None:
+            actual = trace_digest(trace)
+            if actual != stored_sha:
+                raise ValueError(
+                    f"cache entry integrity failure: stored trace digest "
+                    f"{stored_sha[:12]} != recomputed {actual[:12]}"
+                )
+        return trace
 
     @staticmethod
     def _load_legacy_entry(path: Path, digest: str) -> Trace:
@@ -163,11 +217,9 @@ class TraceCache:
             except FileNotFoundError:
                 continue
             except Exception:
-                # Corrupt or stale entry: drop it and keep looking.
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                # Corrupt, stale, or integrity-failed entry: quarantine
+                # it (a miss, never an error) and keep looking.
+                self._quarantine(path, digest)
         if trace is None:
             self.misses += 1
             self._observe("miss", digest)
@@ -194,6 +246,9 @@ class TraceCache:
             "cache_format": CACHE_FORMAT_VERSION,
             "trace_schema": TRACE_SCHEMA_VERSION,
             "digest": digest,
+            # Content digest of the stored trace: the read path recomputes
+            # and compares, so a corrupted payload can never serve a hit.
+            "trace_sha": trace_digest(trace),
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -221,6 +276,7 @@ class TraceCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
         }
 
     def __repr__(self) -> str:

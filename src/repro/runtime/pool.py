@@ -10,6 +10,20 @@ checkpoint/size grids.  Semantics:
 * **Cache first** — each config is looked up in the content-addressed
   :class:`~repro.runtime.cache.TraceCache` before any work is dispatched;
   only misses are simulated, and fresh results are written back.
+* **Failure is the steady state** — the pool treats its own workers the
+  way the paper's clusters treat nodes.  Every config carries a retry
+  budget with exponential, seeded-jitter backoff; a worker that dies
+  mid-seed (OOM-kill, segfault, chaos injection) is detected through the
+  broken executor, the executor is respawned, and the lost attempts are
+  re-dispatched; a per-attempt timeout reclaims hung workers; and a
+  circuit breaker degrades to inline execution after repeated pool-level
+  failures rather than fighting a broken ``multiprocessing`` environment.
+  All recovery actions are accounted in ``resilience_*`` metrics.
+* **Crash-safe sweeps** — pass a
+  :class:`~repro.resilience.checkpoint.CampaignCheckpoint` (or
+  ``RunOptions(checkpoint_dir=...)``) and every completed config is
+  persisted (manifest + partial results, both atomic); re-running the
+  interrupted sweep resumes bit-identically.
 * **Graceful degradation** — with one usable core, a single miss, or a
   broken ``multiprocessing`` environment, the pool runs in-process with
   identical results (campaign determinism is seeded, not scheduling-
@@ -17,18 +31,25 @@ checkpoint/size grids.  Semantics:
 
 Each returned trace carries a ``metadata["runtime"]`` block (wall time,
 events executed, events/sec, source, executor) and ``pool.last_stats``
-aggregates the sweep (hits, misses, workers, events/sec) so speedups are
-measurable, not anecdotal.
+aggregates the sweep (hits, misses, retries, workers, events/sec) so
+speedups and recoveries are measurable, not anecdotal.
 """
 
+import concurrent.futures
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.campaign import CampaignConfig, run_campaign
 from repro.obs.metrics import MetricsRegistry
+from repro.options import RunOptions, UNSET, resolve_options
+from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.config import DEFAULT_RESILIENCE, ResilienceConfig
+from repro.resilience.retry import CircuitBreaker
 from repro.runtime.cache import TraceCache
+from repro.runtime.hashing import config_digest
 from repro.workload.trace import Trace
 
 #: Registry counters the pool maintains; ``last_stats`` is rebuilt from
@@ -38,11 +59,37 @@ _POOL_COUNTERS = (
     "pool_cache_hits_total",
     "pool_simulated_total",
     "pool_events_executed_total",
+    "pool_resumed_total",
+    "resilience_retries_total",
+    "resilience_worker_respawns_total",
 )
 
 
+@dataclass(frozen=True)
+class _SimTask:
+    """One dispatchable simulation attempt (picklable for workers)."""
+
+    config: CampaignConfig
+    digest: str
+    attempt: int
+    chaos: Optional[object] = None
+    subprocess: bool = True
+
+
+def _simulate_task(task: _SimTask) -> Trace:
+    """Module-level worker body (must be picklable for multiprocessing).
+
+    Chaos worker-death injection happens here — inside the attempt, the
+    way a real OOM-kill lands — so the parent only ever observes the
+    broken executor (subprocess) or :class:`WorkerKilled` (inline).
+    """
+    if task.chaos is not None:
+        task.chaos.kill_worker(task.digest, task.attempt, task.subprocess)
+    return run_campaign(task.config)
+
+
 def _simulate(config: CampaignConfig) -> Trace:
-    """Module-level worker body (must be picklable for multiprocessing)."""
+    """Back-compat worker body: one plain attempt, no chaos."""
     return run_campaign(config)
 
 
@@ -56,6 +103,9 @@ class SweepStats:
     workers: int
     wall_time_s: float
     events_executed: int
+    resumed: int = 0
+    retries: int = 0
+    respawns: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -64,11 +114,17 @@ class SweepStats:
         return self.events_executed / self.wall_time_s
 
     def render(self) -> str:
+        recovered = ""
+        if self.retries or self.respawns or self.resumed:
+            recovered = (
+                f", recovered: {self.retries} retries / "
+                f"{self.respawns} respawns / {self.resumed} resumed"
+            )
         return (
             f"{self.campaigns} campaigns in {self.wall_time_s:.2f}s "
             f"({self.cache_hits} cache hits, {self.simulated} simulated "
             f"on {self.workers} worker{'s' if self.workers != 1 else ''}, "
-            f"{self.events_per_sec:,.0f} events/s)"
+            f"{self.events_per_sec:,.0f} events/s{recovered})"
         )
 
 
@@ -78,9 +134,11 @@ class CampaignPool:
     def __init__(
         self,
         max_workers: Optional[int] = None,
-        cache: Union[TraceCache, bool, None] = None,
+        cache: Union[TraceCache, bool, None] = UNSET,
         mp_context: Optional[str] = None,
         telemetry=None,
+        resilience: Optional[ResilienceConfig] = None,
+        options: Optional[RunOptions] = None,
     ):
         """
         Args:
@@ -96,14 +154,32 @@ class CampaignPool:
                 the tracer is enabled).  Without one, the pool still owns
                 a private :class:`MetricsRegistry` — ``last_stats`` is
                 always derived from registry counters.
+            resilience: Recovery posture (retry budget, chaos injection,
+                circuit breaker); ``None`` uses the default policy.
+            options: A :class:`repro.RunOptions`; fills any of the above
+                that were not passed explicitly (workers, cache +
+                cache_dir, telemetry, resilience, checkpoint_dir).
         """
+        opts = options if options is not None else RunOptions()
+        if max_workers is None:
+            max_workers = opts.workers
+        if cache is UNSET:
+            cache = opts.cache
+        if telemetry is None:
+            telemetry = opts.telemetry
+        if resilience is None:
+            resilience = opts.resilience or DEFAULT_RESILIENCE
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.resilience = resilience
         if cache is False:
             self.cache: Optional[TraceCache] = None
         elif cache is None or cache is True:
-            self.cache = TraceCache()
+            self.cache = TraceCache(
+                root=opts.cache_dir,
+                verify=resilience.verify_cache_integrity,
+            )
         else:
             self.cache = cache
         self.mp_context = mp_context
@@ -111,6 +187,10 @@ class CampaignPool:
         self.metrics: MetricsRegistry = (
             telemetry.metrics if telemetry is not None else MetricsRegistry()
         )
+        self.checkpoint_dir = opts.checkpoint_dir
+        #: One breaker per pool: once open, this pool never goes back to
+        #: pooled execution (a broken mp environment does not heal).
+        self.breaker = CircuitBreaker(threshold=resilience.circuit_threshold)
         self.last_stats: Optional[SweepStats] = None
 
     # ------------------------------------------------------------------
@@ -122,47 +202,87 @@ class CampaignPool:
             limit = os.cpu_count() or 1
         return max(1, min(limit, n_misses))
 
-    def run(self, configs: Sequence[CampaignConfig]) -> List[Trace]:
+    def run(
+        self,
+        configs: Sequence[CampaignConfig],
+        checkpoint: Optional[CampaignCheckpoint] = None,
+    ) -> List[Trace]:
         """Simulate (or load) every config; results in input order.
 
         All accounting flows through the metrics registry (counters are
         cumulative across ``run`` calls); ``last_stats`` is rebuilt from
         this run's counter deltas, so the registry is the single source
         of truth for sweep statistics.
+
+        ``checkpoint`` (or a pool built with ``options.checkpoint_dir``)
+        makes the sweep crash-safe: completed configs are persisted as
+        they finish and an interrupted sweep, re-run with the same
+        checkpoint, resumes bit-identically.
         """
         metrics = self.metrics
         baseline = {
             name: metrics.counter(name).value for name in _POOL_COUNTERS
         }
         configs = list(configs)
+        if checkpoint is None and self.checkpoint_dir is not None:
+            checkpoint = CampaignCheckpoint(self.checkpoint_dir)
+        if checkpoint is not None:
+            checkpoint.begin(configs)
+        chaos = self.resilience.chaos
         results: List[Optional[Trace]] = [None] * len(configs)
         miss_indices: List[int] = []
         with metrics.timer("pool_sweep_wall_seconds") as sweep_timer:
             for i, config in enumerate(configs):
+                restored = (
+                    checkpoint.load(config) if checkpoint is not None else None
+                )
+                if restored is not None:
+                    results[i] = restored
+                    metrics.counter("pool_resumed_total").inc()
+                    continue
+                if self.cache is not None and chaos is not None:
+                    # Chaos models a torn write / bit rot landing between
+                    # the entry's write and this read.
+                    chaos.corrupt_before_read(self.cache, config)
                 cached = (
                     self.cache.get(config) if self.cache is not None else None
                 )
                 if cached is not None:
                     results[i] = cached
                     metrics.counter("pool_cache_hits_total").inc()
+                    if checkpoint is not None:
+                        checkpoint.record(config, cached)
                 else:
                     miss_indices.append(i)
 
             workers = self._worker_count(len(miss_indices))
             if miss_indices:
                 miss_configs = [configs[i] for i in miss_indices]
-                traces, workers = self._execute(miss_configs, workers)
-                for i, trace in zip(miss_indices, traces):
+                executed, workers = self._execute(miss_configs, workers)
+                recorded = 0
+                for i, (trace, executor) in zip(miss_indices, executed):
                     runtime = dict(trace.metadata.get("runtime", {}))
-                    runtime["executor"] = "process" if workers > 1 else "inline"
+                    runtime["executor"] = executor
                     trace.metadata["runtime"] = runtime
                     if self.cache is not None:
                         self.cache.put(configs[i], trace)
+                    if checkpoint is not None:
+                        recorded += 1
+                        checkpoint.record(
+                            configs[i],
+                            trace,
+                            flush=(
+                                recorded % self.resilience.checkpoint_every
+                                == 0
+                            ),
+                        )
                     results[i] = trace
                     metrics.counter("pool_simulated_total").inc()
                     metrics.histogram("campaign_wall_seconds").observe(
                         float(runtime.get("wall_time_s", 0.0))
                     )
+                if checkpoint is not None:
+                    checkpoint.flush()
             metrics.counter("pool_campaigns_total").inc(len(configs))
             metrics.counter("pool_events_executed_total").inc(
                 sum(
@@ -183,6 +303,9 @@ class CampaignPool:
             workers=int(metrics.gauge("pool_workers").value),
             wall_time_s=sweep_timer.elapsed,
             events_executed=delta("pool_events_executed_total"),
+            resumed=delta("pool_resumed_total"),
+            retries=delta("resilience_retries_total"),
+            respawns=delta("resilience_worker_respawns_total"),
         )
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
@@ -195,36 +318,215 @@ class CampaignPool:
                 simulated=self.last_stats.simulated,
                 workers=self.last_stats.workers,
                 wall_time_s=self.last_stats.wall_time_s,
+                retries=self.last_stats.retries,
+                respawns=self.last_stats.respawns,
+                resumed=self.last_stats.resumed,
             )
         return [t for t in results if t is not None]
 
+    # ------------------------------------------------------------------
+    # resilient dispatch
+    # ------------------------------------------------------------------
+    def _note_retry(self, digest: str, attempt: int, reason: str) -> None:
+        self.metrics.counter("resilience_retries_total").inc()
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.emit(
+                "resilience.retry",
+                digest[:12],
+                0.0,
+                attempt=attempt,
+                reason=reason,
+            )
+
     def _execute(
         self, configs: List[CampaignConfig], workers: int
-    ) -> "tuple[List[Trace], int]":
-        """Run the given configs, preferring processes, falling back inline."""
-        if workers > 1 and len(configs) > 1:
-            try:
-                ctx = (
-                    multiprocessing.get_context(self.mp_context)
-                    if self.mp_context
-                    else multiprocessing.get_context()
+    ) -> "Tuple[List[Tuple[Trace, str]], int]":
+        """Run the given configs, preferring processes, falling back inline.
+
+        Returns ``([(trace, executor_label), ...], workers_used)`` in
+        input order.
+        """
+        digests = [config_digest(c) for c in configs]
+        results: List[Optional[Tuple[Trace, str]]] = [None] * len(configs)
+        if workers > 1 and len(configs) > 1 and not self.breaker.open:
+            self._execute_pooled(configs, digests, results, workers)
+        pooled = sum(1 for r in results if r is not None)
+        for i, config in enumerate(configs):
+            if results[i] is None:
+                results[i] = (
+                    self._simulate_inline(config, digests[i]),
+                    "inline",
                 )
-                with ctx.Pool(processes=workers) as pool:
-                    # map() preserves input order, which is what makes the
-                    # pooled sweep bit-compatible with a serial loop.
-                    return list(pool.map(_simulate, configs)), workers
-            except (OSError, ValueError, RuntimeError):
-                pass  # e.g. sandboxed environments without /dev/shm
-        return [_simulate(c) for c in configs], 1
+        return list(results), workers if pooled else 1
+
+    def _simulate_inline(self, config: CampaignConfig, digest: str) -> Trace:
+        """In-process attempt loop: retry with backoff, then re-raise."""
+        retry = self.resilience.retry
+        chaos = self.resilience.chaos
+        for attempt in range(retry.max_attempts):
+            try:
+                return _simulate_task(
+                    _SimTask(
+                        config=config,
+                        digest=digest,
+                        attempt=attempt,
+                        chaos=chaos,
+                        subprocess=False,
+                    )
+                )
+            except Exception as err:
+                if not retry.retryable(attempt):
+                    raise
+                self._note_retry(digest, attempt, type(err).__name__)
+                retry.backoff.sleep(digest, attempt)
+        raise AssertionError("unreachable: retry loop exited")  # pragma: no cover
+
+    def _new_executor(self, workers: int):
+        ctx = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx
+        )
+
+    @staticmethod
+    def _kill_executor(executor) -> None:
+        """Tear an executor down hard, terminating hung workers."""
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - best effort
+                pass
+
+    def _execute_pooled(
+        self,
+        configs: List[CampaignConfig],
+        digests: List[str],
+        results: List[Optional[Tuple[Trace, str]]],
+        workers: int,
+    ) -> None:
+        """Dispatch waves of attempts until done, dead, or circuit-open.
+
+        Fills ``results`` in place; indices still ``None`` on return are
+        the inline fallback's responsibility (budget exhausted or breaker
+        open), so the sweep always completes and real errors still
+        surface — from the inline path, with the genuine exception.
+        """
+        retry = self.resilience.retry
+        chaos = self.resilience.chaos
+        metrics = self.metrics
+        attempts = [0] * len(configs)
+        pending = [i for i in range(len(configs))]
+        executor = None
+        wave = 0
+        try:
+            executor = self._new_executor(workers)
+        except (OSError, ValueError, RuntimeError):
+            return  # e.g. sandboxed environments without /dev/shm
+        try:
+            while pending and not self.breaker.open:
+                futures = {}
+                try:
+                    if executor is None:
+                        executor = self._new_executor(workers)
+                        metrics.counter(
+                            "resilience_worker_respawns_total"
+                        ).inc()
+                    for i in pending:
+                        futures[i] = executor.submit(
+                            _simulate_task,
+                            _SimTask(
+                                config=configs[i],
+                                digest=digests[i],
+                                attempt=attempts[i],
+                                chaos=chaos,
+                                subprocess=True,
+                            ),
+                        )
+                except (OSError, ValueError, RuntimeError):
+                    self.breaker.record_failure()
+                    if executor is not None:
+                        self._kill_executor(executor)
+                        executor = None
+                    continue
+                wave_deadline = (
+                    time.monotonic() + retry.timeout_s
+                    if retry.timeout_s is not None
+                    else None
+                )
+                failed: List[int] = []
+                broken = False
+                for i in pending:
+                    remaining = None
+                    if wave_deadline is not None:
+                        remaining = max(0.0, wave_deadline - time.monotonic())
+                    try:
+                        trace = futures[i].result(timeout=remaining)
+                        results[i] = (trace, "process")
+                    except concurrent.futures.TimeoutError:
+                        metrics.counter("resilience_timeouts_total").inc()
+                        failed.append(i)
+                        broken = True  # hung worker: executor must die
+                    except concurrent.futures.BrokenExecutor:
+                        failed.append(i)
+                        broken = True  # dead worker took the executor down
+                    except Exception:
+                        failed.append(i)  # attempt raised; worker survives
+                pending = []
+                for i in failed:
+                    if retry.retryable(attempts[i]):
+                        self._note_retry(
+                            digests[i], attempts[i], "pool-attempt-failed"
+                        )
+                        attempts[i] += 1
+                        pending.append(i)
+                    # else: leave results[i] None for the inline fallback,
+                    # which re-raises the genuine error if it persists.
+                if broken:
+                    opened = self.breaker.record_failure()
+                    if opened:
+                        metrics.counter("resilience_circuit_open_total").inc()
+                    self._kill_executor(executor)
+                    executor = None
+                    retry.backoff.sleep("pool-respawn", wave)
+                else:
+                    self.breaker.record_success()
+                wave += 1
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
 
 
 def run_campaigns(
     configs: Sequence[CampaignConfig],
-    max_workers: Optional[int] = None,
-    cache: Union[TraceCache, bool, None] = None,
+    options: Optional[RunOptions] = None,
+    *,
+    max_workers: Optional[int] = UNSET,
+    cache: Union[TraceCache, bool, None] = UNSET,
+    checkpoint: Optional[CampaignCheckpoint] = None,
 ) -> List[Trace]:
-    """One-call sweep: pool + cache with defaults; results in input order."""
-    return CampaignPool(max_workers=max_workers, cache=cache).run(configs)
+    """One-call sweep: pool + cache with defaults; results in input order.
+
+    ``options`` is the supported configuration surface
+    (:class:`repro.RunOptions`); the ``max_workers=``/``cache=`` keywords
+    are the deprecated pre-``RunOptions`` spelling and emit a
+    :class:`DeprecationWarning`.  ``checkpoint`` (or
+    ``options.checkpoint_dir``) makes the sweep crash-safe and
+    resumable.
+    """
+    opts = resolve_options(
+        options,
+        "run_campaigns",
+        renames={"max_workers": "workers"},
+        max_workers=max_workers,
+        cache=cache,
+    )
+    return CampaignPool(options=opts).run(configs, checkpoint=checkpoint)
 
 
 def seed_sweep_configs(

@@ -1,0 +1,47 @@
+"""Backoff/RetryPolicy/CircuitBreaker mechanics (no simulation needed)."""
+
+import pytest
+
+from repro.resilience import Backoff, CircuitBreaker, RetryPolicy
+
+
+def test_backoff_grows_exponentially_and_caps():
+    b = Backoff(base_s=0.1, factor=2.0, max_s=0.5, jitter=0.0, seed=0)
+    assert b.delay("k", 0) == pytest.approx(0.1)
+    assert b.delay("k", 1) == pytest.approx(0.2)
+    assert b.delay("k", 2) == pytest.approx(0.4)
+    assert b.delay("k", 3) == pytest.approx(0.5)  # capped
+    assert b.delay("k", 10) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_is_bounded_and_deterministic():
+    b = Backoff(base_s=0.1, factor=2.0, max_s=10.0, jitter=0.25, seed=42)
+    for attempt in range(6):
+        nominal = 0.1 * 2.0**attempt
+        d = b.delay("key", attempt)
+        assert nominal * 0.75 <= d <= nominal * 1.25
+        assert d == b.delay("key", attempt)  # seeded, not random
+    # Different keys de-synchronize (no thundering herd).
+    assert b.delay("a", 3) != b.delay("b", 3)
+
+
+def test_retry_policy_budget():
+    r = RetryPolicy(max_attempts=3)
+    assert r.retryable(0) and r.retryable(1)
+    assert not r.retryable(2)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_circuit_breaker_opens_after_threshold_and_stays_open():
+    cb = CircuitBreaker(threshold=3)
+    assert not cb.record_failure()
+    assert not cb.record_failure()
+    cb.record_success()  # consecutive counter resets
+    assert not cb.record_failure()
+    assert not cb.record_failure()
+    assert cb.record_failure()  # third consecutive: opens
+    assert cb.open
+    cb.record_success()  # one-way: success does not close it
+    assert cb.open
+    assert cb.total_failures == 5

@@ -46,7 +46,9 @@ def test_put_get_roundtrip(tmp_path, config, trace):
     assert loaded is not None
     assert trace_digest(loaded) == trace_digest(trace)
     assert loaded.metadata["runtime"]["source"] == "cache"
-    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+    assert cache.stats() == {
+        "hits": 1, "misses": 1, "writes": 1, "quarantined": 0
+    }
 
 
 def test_entries_are_sharded_under_versioned_root(tmp_path, config, trace):
@@ -65,6 +67,52 @@ def test_corrupt_entry_is_a_miss_and_discarded(tmp_path, config, trace):
     assert cache.get(config) is None
     assert not path.exists()  # dropped, not left to fail forever
     assert cache.misses == 1
+
+
+def test_torn_write_never_serves_a_trace(tmp_path, config, trace):
+    """Kill-mid-write regression: a file truncated at any byte boundary
+    (every prefix an interrupted writer could leave under a non-atomic
+    scheme) must be a quarantined miss, never a served trace."""
+    for fraction in (0.05, 0.25, 0.5, 0.9, 0.99):
+        cache = TraceCache(root=tmp_path / f"f{fraction}", enabled=True)
+        path = cache.put(config, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, int(len(data) * fraction))])
+        assert cache.get(config) is None
+        assert not path.exists()
+        assert cache.quarantined == 1
+        quarantined = {p.name for p in cache.quarantine_dir().iterdir()}
+        assert path.name in quarantined
+
+
+def test_interrupted_put_leaves_no_entry(tmp_path, config, trace, monkeypatch):
+    """put() is write-temp-then-rename: dying between the two leaves no
+    entry under the final name and no stray temp file served as one."""
+    import os
+
+    cache = TraceCache(root=tmp_path, enabled=True)
+    real_replace = os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError("chaos: killed between write and rename")
+
+    monkeypatch.setattr("repro.runtime.cache.os.replace", exploding_replace)
+    with pytest.raises(OSError):
+        cache.put(config, trace)
+    monkeypatch.setattr("repro.runtime.cache.os.replace", real_replace)
+    assert not cache.path_for(config).exists()
+    assert list(cache.path_for(config).parent.glob(".tmp-*")) == []
+    assert cache.get(config) is None  # a clean miss, not an error
+    assert cache.put(config, trace) is not None
+    loaded = cache.get(config)
+    assert loaded is not None and trace_digest(loaded) == trace_digest(trace)
+
+
+def test_verify_false_skips_digest_recheck(tmp_path, config, trace):
+    cache = TraceCache(root=tmp_path, enabled=True, verify=False)
+    cache.put(config, trace)
+    assert cache.get(config) is not None
+    assert cache.verify is False
 
 
 def test_stamp_mismatch_invalidates(tmp_path, config, trace):
@@ -112,7 +160,9 @@ def test_legacy_pickle_entries_still_serve_hits(tmp_path, config, trace):
     assert loaded is not None
     assert trace_digest(loaded) == trace_digest(trace)
     assert loaded.metadata["runtime"]["source"] == "cache"
-    assert cache.stats() == {"hits": 1, "misses": 0, "writes": 0}
+    assert cache.stats() == {
+        "hits": 1, "misses": 0, "writes": 0, "quarantined": 0
+    }
     assert legacy.exists()  # never discarded while valid
 
 
@@ -143,7 +193,9 @@ def test_disabled_cache_never_touches_disk(tmp_path, config, trace):
     assert cache.put(config, trace) is None
     assert cache.get(config) is None
     assert list(tmp_path.iterdir()) == []
-    assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
+    assert cache.stats() == {
+        "hits": 0, "misses": 0, "writes": 0, "quarantined": 0
+    }
 
 
 @pytest.mark.parametrize("value", ["off", "0", "no", "FALSE", "Disabled"])
