@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke
+.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke health-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -51,3 +51,13 @@ live-smoke:
 chaos-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "chaos_smoke" --benchmark-disable -s
+
+# Observability tentpole acceptance: an instrumented chaos sweep must
+# stay digest-identical to a dark baseline while producing a fleet
+# health score in [0,100] with one attributed message per injected
+# fault class, a Perfetto-loadable Chrome trace of the span hierarchy,
+# and incident timelines whose stage latencies sum to each incident's
+# downtime.  Appends spans/sec to BENCH_runtime.json.  ~20s.
+health-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "health_smoke" --benchmark-disable -s

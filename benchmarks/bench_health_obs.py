@@ -1,0 +1,198 @@
+"""Health smoke: an instrumented chaos sweep must score, profile, and
+reconstruct — without moving a single digest.
+
+The `make health-smoke` experiment (also a CI job): one multi-seed
+sweep runs dark, then again fully observed (telemetry + spans) under a
+seeded :class:`ChaosPolicy` with a shared trace cache, twice — the
+second pass corrupts the entries the first one wrote, so the cache
+quarantine path fires.  From the surviving artifacts we then demand the
+whole observability tentpole at once:
+
+* digest parity — the instrumented chaotic traces are bit-identical to
+  the dark baseline (telemetry observes, never perturbs);
+* a fleet health score in ``[0, 100]`` whose messages attribute every
+  injected fault class (hardware failures from the simulation, retries
+  from chaos kills, quarantines from cache corruption);
+* a Chrome trace-event JSON export that loads and carries the
+  sweep → campaign → phase span hierarchy;
+* an incident timeline whose detection → response → repair stage
+  latencies sum exactly to each resolved incident's downtime.
+
+Span overhead (spans/sec sustained while recording) lands in
+BENCH_runtime.json as the tracked number.
+"""
+
+import json
+import os
+import shutil
+import time
+
+from repro import CampaignConfig, ClusterSpec
+from repro.analysis.report import render_table
+from repro.obs import (
+    FleetHealthScorer,
+    HealthSignals,
+    Telemetry,
+    reconstruct_timeline,
+    summarize,
+    write_chrome_trace,
+)
+from repro.resilience import Backoff, ChaosPolicy, ResilienceConfig, RetryPolicy
+from repro.runtime import (
+    CampaignPool,
+    TraceCache,
+    record_benchmark,
+    seed_sweep_configs,
+    trace_digest,
+)
+
+N_SEEDS = 3
+NODES = 24
+DAYS = 8
+CHAOS_SEED = 11
+
+
+def _sweep_configs():
+    spec = ClusterSpec.rsc1_like(n_nodes=NODES, campaign_days=DAYS)
+    base = CampaignConfig(cluster_spec=spec, duration_days=DAYS, seed=0)
+    return seed_sweep_configs(base, range(N_SEEDS))
+
+
+def test_health_smoke_scores_profiles_reconstructs(tmp_path):
+    configs = _sweep_configs()
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, backoff=Backoff(base_s=0.01, seed=1)),
+        chaos=ChaosPolicy(
+            seed=CHAOS_SEED,
+            worker_kill_rate=0.6,
+            max_kills_per_config=2,
+            cache_corruption_rate=0.6,
+        ),
+        circuit_threshold=10,
+    )
+
+    # Dark baseline: no telemetry, no cache, no chaos.
+    t0 = time.perf_counter()
+    baseline = CampaignPool(max_workers=1, cache=False).run(configs)
+    dark_s = time.perf_counter() - t0
+    want = [trace_digest(t) for t in baseline]
+
+    # Observed chaotic pass.  max_workers=1 keeps execution in-process,
+    # so campaign/phase spans nest under the pool's sweep span and chaos
+    # kills land as inline WorkerKilled retries.
+    telemetry = Telemetry.to_directory(tmp_path / "tel", stem="sweep")
+    cache = TraceCache(
+        root=tmp_path / "cache", enabled=True, telemetry=telemetry
+    )
+    pool = CampaignPool(
+        max_workers=1, cache=cache, resilience=resilience,
+        telemetry=telemetry,
+    )
+    t0 = time.perf_counter()
+    survived = pool.run(configs)
+    observed_s = time.perf_counter() - t0
+    assert [trace_digest(t) for t in survived] == want
+    assert pool.last_stats.retries > 0  # chaos actually landed
+
+    # Second pass over the now-corrupted cache: quarantine + rebuild,
+    # still digest-identical, same telemetry bundle keeps observing.
+    cache2 = TraceCache(
+        root=tmp_path / "cache", enabled=True, telemetry=telemetry
+    )
+    pool2 = CampaignPool(
+        max_workers=1, cache=cache2, resilience=resilience,
+        telemetry=telemetry,
+    )
+    rebuilt = pool2.run(configs)
+    assert [trace_digest(t) for t in rebuilt] == want
+    assert cache2.quarantined > 0  # corruption actually landed
+
+    spans_recorded = len(telemetry.spans.records)
+    assert spans_recorded > 0
+    telemetry.finalize()
+
+    # --- fleet health -------------------------------------------------
+    summary = summarize(tmp_path / "tel")
+    signals = HealthSignals.from_summary(summary, n_nodes=NODES)
+    report = FleetHealthScorer().score(signals)
+    assert 0.0 <= report.score <= 100.0
+    # Every injected fault class attributes at least one message.
+    for condition in ("hardware_failure", "retry", "cache_quarantine"):
+        assert condition in report.applied, report.messages
+        assert any(condition in m for m in report.messages)
+
+    # --- Chrome trace export ------------------------------------------
+    chrome_path = tmp_path / "health-smoke.chrome.json"
+    n_events = write_chrome_trace(chrome_path, telemetry.spans.records)
+    assert n_events == spans_recorded
+    document = json.loads(chrome_path.read_text())
+    names = {e["name"] for e in document["traceEvents"]}
+    assert {"sweep", "campaign", "phase:simulate"} <= names
+    assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+    # --- incident timeline --------------------------------------------
+    timelines = [reconstruct_timeline(t) for t in survived]
+    resolved = [i for tl in timelines for i in tl.resolved()]
+    for incident in resolved:
+        stages = incident.stages()
+        assert all(v >= 0.0 for v in stages.values())
+        assert abs(sum(stages.values()) - incident.downtime_s) < 1e-9
+    timeline_path = tmp_path / "health-smoke.timeline.json"
+    timelines[0].write_json(timeline_path)
+    assert json.loads(timeline_path.read_text())["n_incidents"] == len(
+        timelines[0].incidents
+    )
+
+    # CI uploads the profile artifacts when this is set (see the
+    # health-smoke workflow job); locally it defaults to off.
+    artifact_dir = os.environ.get("REPRO_HEALTH_ARTIFACT_DIR")
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+        shutil.copy2(chrome_path, artifact_dir)
+        shutil.copy2(timeline_path, artifact_dir)
+
+    spans_per_sec = spans_recorded / observed_s if observed_s > 0 else 0.0
+    rows = [
+        ("dark baseline", f"{dark_s:.2f}s", "-", "-"),
+        (
+            "observed + chaos",
+            f"{observed_s:.2f}s",
+            f"{spans_recorded:,}",
+            f"{spans_per_sec:,.0f}/s",
+        ),
+        (
+            "health score",
+            f"{report.score:.1f}/100",
+            f"{len(report.messages)} conditions",
+            f"{len(resolved)} incidents resolved",
+        ),
+    ]
+    print()
+    print(
+        render_table(
+            ["run", "wall", "spans", "rate"],
+            rows,
+            title=(
+                f"Health smoke — {N_SEEDS}-seed observed chaos sweep "
+                f"(digests identical)"
+            ),
+        )
+    )
+
+    record_benchmark(
+        "health_smoke",
+        {
+            "seeds": N_SEEDS,
+            "nodes": NODES,
+            "days": DAYS,
+            "chaos_seed": CHAOS_SEED,
+            "dark_s": round(dark_s, 3),
+            "observed_s": round(observed_s, 3),
+            "spans_recorded": spans_recorded,
+            "spans_per_sec": round(spans_per_sec, 1),
+            "health_score": report.score,
+            "conditions": len(report.messages),
+            "incidents_resolved": len(resolved),
+            "digest_parity": True,
+        },
+    )

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.obs.spans import maybe_span
 from repro.options import DEFAULT_OPTIONS, RunOptions, UNSET, resolve_options
 from repro.scheduler.engine import SlurmLikeScheduler
 from repro.scheduler.quota import QuotaManager
@@ -214,16 +215,29 @@ class Campaign:
                 duration_days=self.config.duration_days,
             )
         self.scheduler.on_job_completed = self._submit_continuation
-        with _phase_timer(telemetry, observing, "generate"):
-            for spec in self.generator.generate(0.0, span):
-                # Eligibility is deferred to each spec's submit_time.
-                self.scheduler.submit(spec)
-        with _phase_timer(telemetry, observing, "simulate"):
-            self.cluster.start()
-            self.engine.run_until(span, max_events=self.config.max_events)
-            self.scheduler.stop()
-        with _phase_timer(telemetry, observing, "build_trace"):
-            trace = self._build_trace(span)
+        with maybe_span(
+            telemetry,
+            "campaign",
+            seed=self.config.seed,
+            cluster=self.config.cluster_spec.name,
+            duration_days=self.config.duration_days,
+        ):
+            with _phase_timer(telemetry, observing, "generate"), maybe_span(
+                telemetry, "phase:generate"
+            ):
+                for spec in self.generator.generate(0.0, span):
+                    # Eligibility is deferred to each spec's submit_time.
+                    self.scheduler.submit(spec)
+            with _phase_timer(telemetry, observing, "simulate"), maybe_span(
+                telemetry, "phase:simulate"
+            ):
+                self.cluster.start()
+                self.engine.run_until(span, max_events=self.config.max_events)
+                self.scheduler.stop()
+            with _phase_timer(telemetry, observing, "build_trace"), maybe_span(
+                telemetry, "phase:build_trace"
+            ):
+                trace = self._build_trace(span)
         elapsed = time.perf_counter() - t0
         executed = self.engine.executed_events
         # Instrumentation consumed by CampaignPool/TraceCache and surfaced

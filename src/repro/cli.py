@@ -388,6 +388,114 @@ def cmd_obs_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs import find_telemetry_files, spans_from_stream
+    from repro.obs.spans import chrome_trace_events, span_phase_stats
+
+    try:
+        pairs = find_telemetry_files(args.path)
+    except FileNotFoundError as err:
+        logger.error("%s", err)
+        return 1
+    all_spans = []
+    trace_events = []
+    for tid, (stream, _metrics) in enumerate(pairs, start=1):
+        try:
+            spans = spans_from_stream(stream)
+        except ValueError as err:
+            logger.error("malformed telemetry: %s", err)
+            return 1
+        all_spans.extend(spans)
+        # One Chrome-trace track per stream: span ids are only unique
+        # within a stream, and separate seeds overlap in wall time.
+        trace_events.extend(chrome_trace_events(spans, tid=tid))
+    if not all_spans:
+        logger.error(
+            "no span.end events in %s (was the run instrumented with "
+            "telemetry enabled?)", args.path
+        )
+        return 1
+    if args.chrome_trace:
+        import json as _json
+
+        document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            _json.dump(document, fh)
+            fh.write("\n")
+        logger.info(
+            "wrote %d trace events to %s (load in chrome://tracing or "
+            "Perfetto)", len(trace_events), args.chrome_trace
+        )
+    from repro.analysis.report import render_table
+
+    rows = [
+        (
+            s.name,
+            str(s.count),
+            f"{s.total_s:.3f}s",
+            f"{s.p50_s * 1e3:.1f}ms",
+            f"{s.p95_s * 1e3:.1f}ms",
+            f"{s.max_s * 1e3:.1f}ms",
+        )
+        for s in span_phase_stats(all_spans)[: args.top]
+    ]
+    print(
+        render_table(
+            ["span", "count", "total", "p50", "p95", "max"],
+            rows,
+            title=f"span profile ({len(all_spans)} spans)",
+        )
+    )
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import reconstruct_timeline
+
+    trace = Trace.load(args.trace)
+    timeline = reconstruct_timeline(trace)
+    if args.json:
+        timeline.write_json(args.json)
+        logger.info(
+            "wrote %d incidents to %s", len(timeline.incidents), args.json
+        )
+    print(timeline.render(limit=args.limit))
+    return 0
+
+
+def cmd_obs_health(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path as _Path
+
+    from repro.obs import FleetHealthScorer, HealthSignals, summarize
+
+    target = _Path(args.path)
+    if target.is_file() and target.suffix == ".json":
+        # A live-session snapshot (repro live --snapshot-out).
+        from repro.live import LiveAnalytics
+
+        analytics = LiveAnalytics.load_snapshot(target)
+        report = analytics.health()
+    else:
+        try:
+            summary = summarize(target)
+        except FileNotFoundError as err:
+            logger.error("%s", err)
+            return 1
+        except ValueError as err:
+            logger.error("malformed telemetry: %s", err)
+            return 1
+        n_nodes = args.nodes if args.nodes else 1
+        report = FleetHealthScorer().score(
+            HealthSignals.from_summary(summary, n_nodes=n_nodes)
+        )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     names = list(_FIGURES) if args.figure == "all" else [args.figure]
@@ -567,6 +675,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10,
                    help="event-label rows in the timing table")
     p.set_defaults(func=cmd_obs_summary)
+    p = obs_sub.add_parser(
+        "profile",
+        help="span profile (p50/p95 table + optional Chrome trace JSON)",
+    )
+    p.add_argument("path",
+                   help="telemetry directory (or a single .events.jsonl)")
+    p.add_argument("--chrome-trace", default=None, metavar="OUT",
+                   help="also write Chrome trace-event JSON here "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--top", type=int, default=20,
+                   help="span rows in the profile table")
+    p.set_defaults(func=cmd_obs_profile)
+    p = obs_sub.add_parser(
+        "timeline",
+        help="reconstruct per-incident detection→recovery timelines "
+             "from a saved trace",
+    )
+    p.add_argument("--trace", required=True,
+                   help="saved trace file (repro campaign --out)")
+    p.add_argument("--json", default=None, metavar="OUT",
+                   help="also write the incident records as JSON")
+    p.add_argument("--limit", type=int, default=15,
+                   help="incident rows in the rendered table")
+    p.set_defaults(func=cmd_obs_timeline)
+    p = obs_sub.add_parser(
+        "health",
+        help="fleet health score (0-100, attributed) from telemetry "
+             "or a live snapshot",
+    )
+    p.add_argument("path",
+                   help="telemetry directory, events stream, or a live "
+                        "session snapshot (.json)")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="fleet size for telemetry-derived signals "
+                        "(default 1; live snapshots carry their own)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the health report as JSON")
+    p.set_defaults(func=cmd_obs_health)
 
     p = sub.add_parser("analyze", help="render figures from a saved trace")
     p.add_argument("--trace", required=True)

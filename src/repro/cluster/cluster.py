@@ -329,6 +329,7 @@ class Cluster:
             "cluster.incident",
             node.name,
             node_id=node.node_id,
+            incident_id=incident.incident_id,
             component=incident.component.value,
             failure_class=incident.failure_class.value,
             severity=int(incident.severity),

@@ -119,6 +119,7 @@ class RemediationWorkflow:
             node.name,
             node_id=node.node_id,
             ticket_id=ticket.ticket_id,
+            incident_id=incident.incident_id,
             component=incident.component.value,
             failure_class=incident.failure_class.value,
         )

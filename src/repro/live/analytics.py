@@ -24,6 +24,7 @@ from repro.live.estimators import (
     OnlineMTTFEstimator,
     RollingFailureRateEstimator,
 )
+from repro.obs.health import FleetHealthScorer, HealthReport, HealthSignals
 from repro.sim.timeunits import DAY, HOUR
 
 #: Bump when the snapshot document shape changes; restore rejects
@@ -215,6 +216,10 @@ class LiveAnalytics:
         metrics.gauge("live_incident_rate_per_1k_node_days").set(
             self.rolling.current_rate()
         )
+        if channel is None:
+            # Published at finish() only: scoring walks every estimator,
+            # which is too heavy for the per-item path.
+            metrics.gauge("live_health_score").set(self.health().score)
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -292,6 +297,26 @@ class LiveAnalytics:
             window_days=self.rolling.window_days,
         )
 
+    def health(
+        self,
+        scorer: Optional[FleetHealthScorer] = None,
+        stale_after_days: Optional[float] = None,
+    ) -> HealthReport:
+        """Score the fleet's current health (PVC ``getClusterHealth``).
+
+        Folds every live estimator into a :class:`HealthSignals` bundle
+        and runs it through a :class:`FleetHealthScorer` (pass one to
+        customize the delta map).  ``stale_after_days`` additionally
+        penalizes a watermark that stopped short of the configured span.
+        """
+        if scorer is None:
+            scorer = FleetHealthScorer()
+        return scorer.score(
+            HealthSignals.from_analytics(
+                self, stale_after_days=stale_after_days
+            )
+        )
+
     def report(self) -> "LiveReport":
         return LiveReport(self)
 
@@ -348,6 +373,14 @@ class LiveReport:
             (
                 "lemon suspects",
                 ", ".join(str(n) for n in suspects) if suspects else "none",
+            )
+        )
+        health = a.health()
+        rows.append(
+            (
+                "fleet health",
+                f"{health.score:.0f}/100"
+                + ("" if health.healthy else f" ({len(health.messages)} conditions)"),
             )
         )
         return rows

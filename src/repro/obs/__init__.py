@@ -37,6 +37,12 @@ Quickstart::
     # then: repro obs summary out/
 """
 
+from repro.obs.health import (
+    DEFAULT_HEALTH_DELTA_MAP,
+    FleetHealthScorer,
+    HealthReport,
+    HealthSignals,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -44,6 +50,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
     load_snapshot,
+)
+from repro.obs.spans import (
+    PhaseStat,
+    SpanRecord,
+    SpanTracer,
+    chrome_trace_events,
+    maybe_span,
+    phase_stats,
+    span_phase_stats,
+    spans_from_stream,
+    write_chrome_trace,
 )
 from repro.obs.summary import (
     ObsSummary,
@@ -53,6 +70,11 @@ from repro.obs.summary import (
     summarize,
 )
 from repro.obs.telemetry import EVENTS_SUFFIX, METRICS_SUFFIX, Telemetry
+from repro.obs.timeline import (
+    IncidentRecord,
+    IncidentTimeline,
+    reconstruct_timeline,
+)
 from repro.obs.tracer import (
     JsonlSink,
     NULL_TRACER,
@@ -65,9 +87,15 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_HEALTH_DELTA_MAP",
     "EVENTS_SUFFIX",
+    "FleetHealthScorer",
     "Gauge",
+    "HealthReport",
+    "HealthSignals",
     "Histogram",
+    "IncidentRecord",
+    "IncidentTimeline",
     "JsonlSink",
     "METRICS_SUFFIX",
     "MetricsRegistry",
@@ -75,14 +103,24 @@ __all__ = [
     "NullSink",
     "ObsEvent",
     "ObsSummary",
+    "PhaseStat",
     "RingBufferSink",
+    "SpanRecord",
+    "SpanTracer",
     "Telemetry",
     "Timer",
     "Tracer",
     "check_stream_well_formed",
+    "chrome_trace_events",
     "find_telemetry_files",
     "iter_event_dicts",
     "label_group",
     "load_snapshot",
+    "maybe_span",
+    "phase_stats",
+    "reconstruct_timeline",
+    "span_phase_stats",
+    "spans_from_stream",
     "summarize",
+    "write_chrome_trace",
 ]

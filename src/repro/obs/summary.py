@@ -118,8 +118,13 @@ class ObsSummary:
     engine_wall_seconds: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: counter name -> value for ``resilience_*_total`` recovery
-    #: counters (retries, respawns, quarantines, timeouts, ...).
+    #: counters (retries, respawns, quarantines, timeouts, ...), plus
+    #: the tracer degradation signals (``tracer_self_disabled``,
+    #: ``tracer_sink_errors_total``).
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: span name -> wall durations (seconds) from ``span.end`` events;
+    #: feeds the p50/p95 phase table.
+    span_durations: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def cache_hit_ratio(self) -> Optional[float]:
@@ -183,6 +188,11 @@ class ObsSummary:
                 self.resilience.get("resilience_cache_quarantined_total", 0)
                 + 1
             )
+        elif category == "span.end":
+            name = attrs.get("name") or payload.get("label") or "span"
+            self.span_durations.setdefault(str(name), []).append(
+                float(attrs.get("dur_s", 0.0))
+            )
 
     def add_metrics_snapshot(self, snapshot: Dict[str, Any]) -> None:
         for entry in snapshot.get("counters", []):
@@ -199,6 +209,16 @@ class ObsSummary:
                 # counting.
                 self.resilience[name] = max(
                     self.resilience.get(name, 0), value
+                )
+            elif name == "tracer_sink_errors_total":
+                self.resilience[name] = max(
+                    self.resilience.get(name, 0), value
+                )
+        for entry in snapshot.get("gauges", []):
+            if entry.get("name") == "tracer_self_disabled":
+                self.resilience["tracer_self_disabled"] = max(
+                    self.resilience.get("tracer_self_disabled", 0),
+                    int(float(entry.get("value", 0.0))),
                 )
         for entry in snapshot.get("histograms", []):
             if entry.get("name") == "campaign_phase_seconds":
@@ -321,6 +341,24 @@ class ObsSummary:
             parts.append(
                 "\nCampaign phases (wall time)\n"
                 + _table(["phase", "total"], rows)
+            )
+
+        if self.span_durations:
+            from repro.obs.spans import phase_stats
+
+            rows = [
+                (
+                    stat.name,
+                    f"{stat.count:,}",
+                    _fmt_seconds(stat.total_s),
+                    _fmt_seconds(stat.p50_s),
+                    _fmt_seconds(stat.p95_s),
+                )
+                for stat in phase_stats(self.span_durations)
+            ]
+            parts.append(
+                "\nSpan phases (wall time)\n"
+                + _table(["span", "count", "total", "p50", "p95"], rows)
             )
 
         if any(self.resilience.values()):

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.obs.tracer import JsonlSink, ObsEvent, RingBufferSink, Tracer
 
 #: File suffixes for the on-disk telemetry pair written next to traces.
@@ -38,6 +39,9 @@ class Telemetry:
     ):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Hierarchical span profiler sharing this bundle's tracer (and
+        #: therefore its enabled gate); see :mod:`repro.obs.spans`.
+        self.spans = SpanTracer(self.tracer)
         #: Where :meth:`finalize` writes the metrics snapshot (None skips).
         self.metrics_path: Optional[str] = None
         self._finalized = False
@@ -92,9 +96,41 @@ class Telemetry:
         if self._finalized:
             return
         self._finalized = True
+        self._publish_tracer_state()
         if self.metrics_path is not None:
             self.metrics.write_snapshot(self.metrics_path)
         self.tracer.close()
+
+    def _publish_tracer_state(self) -> None:
+        """Expose the tracer's degradation state in the metrics snapshot.
+
+        Sink-error self-disable used to be silent; now every snapshot
+        records whether (and how hard) the event stream degraded, and
+        the span profiler's volume.  Registered only when there is
+        something to report or the bundle was ever live, so a disabled
+        bundle's registry stays empty.
+        """
+        tracer = self.tracer
+        spans = self.spans
+        if not (
+            tracer.enabled
+            or tracer.self_disabled
+            or tracer.sink_errors
+            or tracer.events_emitted
+        ):
+            return
+        metrics = self.metrics
+        metrics.gauge("tracer_self_disabled").set(
+            1.0 if tracer.self_disabled else 0.0
+        )
+        if tracer.sink_errors:
+            metrics.counter("tracer_sink_errors_total").inc(
+                tracer.sink_errors
+            )
+        if len(spans) or spans.dropped:
+            metrics.counter("spans_recorded_total").inc(len(spans))
+            if spans.dropped:
+                metrics.counter("spans_dropped_total").inc(spans.dropped)
 
     def __repr__(self) -> str:
         return (

@@ -164,6 +164,12 @@ class Tracer:
         self.enabled = bool(enabled)
         self.events_emitted = 0
         self.sink_errors = 0
+        #: True once the tracer turned itself off after
+        #: :data:`SINK_ERROR_LIMIT` consecutive sink failures.  Distinct
+        #: from ``enabled`` (which is also False for never-enabled
+        #: tracers): this flag means *observability was lost mid-run*,
+        #: and is surfaced in metrics snapshots and ``repro obs summary``.
+        self.self_disabled = False
         self._consecutive_sink_errors = 0
         self._clock = clock
 
@@ -193,6 +199,7 @@ class Tracer:
             self._consecutive_sink_errors += 1
             if self._consecutive_sink_errors >= self.SINK_ERROR_LIMIT:
                 self.enabled = False
+                self.self_disabled = True
             return None
         self._consecutive_sink_errors = 0
         self.events_emitted += 1

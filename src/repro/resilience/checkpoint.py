@@ -29,6 +29,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Union
 
+from repro.obs.spans import maybe_span
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -95,6 +96,10 @@ class CampaignCheckpoint:
         self._dirty = False
         self.loaded = 0
         self.recorded = 0
+        #: Optional repro.obs.Telemetry whose span tracer profiles
+        #: checkpoint writes.  CampaignPool assigns its own bundle here
+        #: so ``checkpoint.write`` spans land in the sweep's trace.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # manifest IO
@@ -209,11 +214,12 @@ class CampaignCheckpoint:
         crash between a deferred record and the flush only costs the
         manifest line, not the entry.
         """
-        self.store.put(config, trace)
-        self._completed.add(_config_digest(config))
-        self._dirty = True
-        if flush:
-            self.flush()
+        with maybe_span(self.telemetry, "checkpoint.write", flush=flush):
+            self.store.put(config, trace)
+            self._completed.add(_config_digest(config))
+            self._dirty = True
+            if flush:
+                self.flush()
         self.recorded += 1
 
     def flush(self) -> None:

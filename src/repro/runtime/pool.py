@@ -44,6 +44,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.campaign import CampaignConfig, run_campaign
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import maybe_span
 from repro.options import RunOptions, UNSET, resolve_options
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.config import DEFAULT_RESILIENCE, ResilienceConfig
@@ -76,15 +77,23 @@ class _SimTask:
     subprocess: bool = True
 
 
-def _simulate_task(task: _SimTask) -> Trace:
+def _simulate_task(task: _SimTask, telemetry=None) -> Trace:
     """Module-level worker body (must be picklable for multiprocessing).
 
     Chaos worker-death injection happens here — inside the attempt, the
     way a real OOM-kill lands — so the parent only ever observes the
     broken executor (subprocess) or :class:`WorkerKilled` (inline).
+
+    ``telemetry`` is only ever passed on the inline path: worker
+    processes cannot stream telemetry back (and a live bundle does not
+    pickle), but in-process attempts observe into the pool's bundle, so
+    an instrumented ``max_workers=1`` sweep profiles as the full
+    sweep → campaign → phase span tree.
     """
     if task.chaos is not None:
         task.chaos.kill_worker(task.digest, task.attempt, task.subprocess)
+    if telemetry is not None:
+        return run_campaign(task.config, options=RunOptions(telemetry=telemetry))
     return run_campaign(task.config)
 
 
@@ -228,10 +237,15 @@ class CampaignPool:
             checkpoint = CampaignCheckpoint(self.checkpoint_dir)
         if checkpoint is not None:
             checkpoint.begin(configs)
+            if getattr(checkpoint, "telemetry", None) is None:
+                # Checkpoint writes profile into this sweep's spans.
+                checkpoint.telemetry = self.telemetry
         chaos = self.resilience.chaos
         results: List[Optional[Trace]] = [None] * len(configs)
         miss_indices: List[int] = []
-        with metrics.timer("pool_sweep_wall_seconds") as sweep_timer:
+        with maybe_span(
+            self.telemetry, "sweep", campaigns=len(configs)
+        ), metrics.timer("pool_sweep_wall_seconds") as sweep_timer:
             for i, config in enumerate(configs):
                 restored = (
                     checkpoint.load(config) if checkpoint is not None else None
@@ -373,7 +387,8 @@ class CampaignPool:
                         attempt=attempt,
                         chaos=chaos,
                         subprocess=False,
-                    )
+                    ),
+                    telemetry=self.telemetry,
                 )
             except Exception as err:
                 if not retry.retryable(attempt):

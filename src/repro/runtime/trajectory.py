@@ -93,7 +93,10 @@ def load_trajectory(path: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
     try:
         with open(target, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
-    except (FileNotFoundError, json.JSONDecodeError, OSError):
+    except (FileNotFoundError, ValueError, OSError):
+        # ValueError covers json.JSONDecodeError (empty/whitespace/torn
+        # documents) *and* UnicodeDecodeError (a torn write that left
+        # invalid UTF-8 bytes) — both restart the trajectory.
         return {"format_version": TRAJECTORY_FORMAT_VERSION, "records": []}
     if not isinstance(doc, dict) or not isinstance(doc.get("records"), list):
         return {"format_version": TRAJECTORY_FORMAT_VERSION, "records": []}

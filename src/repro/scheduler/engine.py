@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FailureIncident
 from repro.cluster.node import Node, NodeState
+from repro.obs.spans import maybe_span
 from repro.scheduler.job import (
     FINAL_OUTCOME_BY_INTENT,
     Job,
@@ -159,6 +160,12 @@ class SlurmLikeScheduler:
         self._schedule_pass()
 
     def _schedule_pass(self) -> None:
+        with maybe_span(
+            self.telemetry, "sched.pass", queued=len(self.pending)
+        ):
+            self._schedule_pass_body()
+
+    def _schedule_pass_body(self) -> None:
         now = self.engine.now
         # Swap the queue out: anything enqueued *during* the pass (e.g.
         # preemption victims) lands on the fresh self.pending and is picked

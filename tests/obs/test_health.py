@@ -1,0 +1,156 @@
+"""Fleet health scoring: arithmetic, attribution, caps, and adapters."""
+
+import pytest
+
+from repro.obs.health import (
+    COMPONENT_BY_CONDITION,
+    DEFAULT_HEALTH_DELTA_MAP,
+    FleetHealthScorer,
+    HealthSignals,
+)
+from repro.obs.summary import ObsSummary
+
+
+def test_quiet_fleet_scores_100():
+    report = FleetHealthScorer().score(HealthSignals(n_nodes=16))
+    assert report.score == 100.0
+    assert report.healthy
+    assert report.messages == []
+    assert report.applied == {}
+    assert all(v == 100.0 for v in report.components.values())
+
+
+def test_deltas_subtract_and_attribute():
+    signals = HealthSignals(
+        n_nodes=16, hardware_incidents=2, network_incidents=1
+    )
+    report = FleetHealthScorer().score(signals)
+    expected = 100.0 - 2 * 4.0 - 1 * 6.0
+    assert report.score == expected
+    assert report.components["capacity"] == 100.0 - 8.0
+    assert report.components["network"] == 100.0 - 6.0
+    assert report.components["runtime"] == 100.0
+    assert report.applied["hardware_failure"] == (2, 8.0)
+    # One attributed message per active condition, naming its points.
+    assert len(report.messages) == 2
+    assert any("hardware_failure, -8" in m for m in report.messages)
+    assert any("network_incident, -6" in m for m in report.messages)
+
+
+def test_condition_cap_bounds_noisy_counters():
+    signals = HealthSignals(n_nodes=16, retries=1000)
+    report = FleetHealthScorer().score(signals)
+    # 1000 * 0.5 = 500 points, capped at the default 40.
+    assert report.applied["retry"] == (1000, 40.0)
+    assert report.score == 60.0
+
+
+def test_score_clamps_to_zero():
+    signals = HealthSignals(
+        n_nodes=16,
+        hardware_incidents=10,
+        network_incidents=10,
+        retries=1000,
+        breaker_open=True,
+    )
+    report = FleetHealthScorer().score(signals)
+    assert report.score == 0.0
+    assert all(0.0 <= v <= 100.0 for v in report.components.values())
+
+
+def test_custom_delta_map_overrides_subset():
+    scorer = FleetHealthScorer(health_delta_map={"retry": 0.0})
+    report = scorer.score(HealthSignals(n_nodes=16, retries=50))
+    assert report.score == 100.0
+    assert "retry" not in report.applied
+    # Untouched conditions keep their defaults.
+    assert scorer.health_delta_map["breaker_open"] == (
+        DEFAULT_HEALTH_DELTA_MAP["breaker_open"]
+    )
+
+
+def test_negative_delta_rejected():
+    with pytest.raises(ValueError):
+        FleetHealthScorer(health_delta_map={"retry": -1.0})
+    with pytest.raises(ValueError):
+        FleetHealthScorer(condition_cap=0.0)
+
+
+def test_every_condition_has_component_and_message():
+    # The delta map, component partition, and signals must stay in sync.
+    counts = HealthSignals(n_nodes=1).condition_counts()
+    assert set(counts) == set(DEFAULT_HEALTH_DELTA_MAP)
+    assert set(counts) == set(COMPONENT_BY_CONDITION)
+
+
+def test_signals_require_nodes():
+    with pytest.raises(ValueError):
+        HealthSignals(n_nodes=0)
+
+
+def test_render_lists_conditions():
+    report = FleetHealthScorer().score(
+        HealthSignals(n_nodes=4, nodes_quarantined=1)
+    )
+    text = report.render()
+    assert "fleet health" in text
+    assert "conditions:" in text
+    assert "quarantined" in text
+    quiet = FleetHealthScorer().score(HealthSignals(n_nodes=4))
+    assert "no active conditions" in quiet.render()
+
+
+def test_to_dict_round_trips_applied():
+    report = FleetHealthScorer().score(
+        HealthSignals(n_nodes=4, timeouts=3)
+    )
+    payload = report.to_dict()
+    assert payload["score"] == report.score
+    assert payload["applied"]["timeout"] == {"count": 3, "points": 6.0}
+    assert payload["messages"] == report.messages
+
+
+def test_from_summary_splits_network_components():
+    summary = ObsSummary()
+    for component in ("gpu", "gpu", "ib_link"):
+        summary.add_event(
+            {
+                "category": "failure.injected",
+                "label": "node-1",
+                "sim_time": 1.0,
+                "attrs": {"component": component, "attributed": True},
+            }
+        )
+    summary.resilience["resilience_retries_total"] = 4
+    summary.resilience["resilience_circuit_open_total"] = 1
+    summary.resilience["tracer_self_disabled"] = 1
+    signals = HealthSignals.from_summary(summary, n_nodes=8)
+    assert signals.hardware_incidents == 2
+    assert signals.network_incidents == 1
+    assert signals.retries == 4
+    assert signals.breaker_open
+    assert signals.tracer_self_disabled
+    report = FleetHealthScorer().score(signals)
+    assert 0.0 <= report.score < 100.0
+    assert any("tracer" in m for m in report.messages)
+
+
+def test_from_analytics_snapshots_live_state():
+    from repro.live import LiveAnalytics, LiveConfig
+
+    analytics = LiveAnalytics(
+        LiveConfig(
+            cluster_name="t", n_nodes=8, n_gpus=64, span_seconds=864000.0
+        )
+    )
+    signals = HealthSignals.from_analytics(analytics)
+    assert signals.n_nodes == 8
+    assert signals.nodes_down == 0
+    report = analytics.health()
+    assert report.score == 100.0
+    # An unfinished session far behind its span counts as stale.
+    stale = HealthSignals.from_analytics(analytics, stale_after_days=1.0)
+    assert stale.watermark_stale
+    analytics.finish()
+    fresh = HealthSignals.from_analytics(analytics, stale_after_days=1.0)
+    assert not fresh.watermark_stale

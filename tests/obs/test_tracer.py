@@ -80,3 +80,69 @@ def test_label_group_collapses_entity_ids():
     assert label_group("failure:1734") == "failure"
     assert label_group("sched-tick") == "sched-tick"
     assert label_group("") == "unlabeled"
+
+
+class _FailingSink:
+    """Sink that fails every write (a dead disk)."""
+
+    def write(self, event):
+        raise OSError("no space left on device")
+
+    def close(self):
+        pass
+
+
+def test_sink_errors_self_disable_and_are_flagged():
+    tracer = Tracer(_FailingSink())
+    assert not tracer.self_disabled
+    for _ in range(Tracer.SINK_ERROR_LIMIT):
+        tracer.emit("sim.execute", "x", 0.0)
+    assert not tracer.enabled
+    assert tracer.self_disabled
+    assert tracer.sink_errors == Tracer.SINK_ERROR_LIMIT
+
+
+def test_intermittent_sink_errors_do_not_self_disable():
+    class FlakySink:
+        def __init__(self):
+            self.calls = 0
+
+        def write(self, event):
+            self.calls += 1
+            if self.calls % 2:
+                raise OSError("flaky")
+
+        def close(self):
+            pass
+
+    tracer = Tracer(FlakySink())
+    for i in range(20):
+        tracer.emit("sim.execute", "x", float(i))
+    # Successes reset the consecutive-error count: degraded, not dead.
+    assert tracer.enabled
+    assert not tracer.self_disabled
+    assert tracer.sink_errors == 10
+
+
+def test_finalize_publishes_tracer_state(tmp_path):
+    from repro.obs import Telemetry, load_snapshot
+
+    telemetry = Telemetry.to_directory(tmp_path, stem="t")
+    telemetry.tracer.sink = _FailingSink()
+    for _ in range(Tracer.SINK_ERROR_LIMIT):
+        telemetry.tracer.emit("sim.execute", "x", 0.0)
+    assert telemetry.tracer.self_disabled
+    telemetry.finalize()
+    snapshot = load_snapshot(tmp_path / "t.metrics.json")
+    gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+    counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+    assert gauges["tracer_self_disabled"] == 1.0
+    assert counters["tracer_sink_errors_total"] == Tracer.SINK_ERROR_LIMIT
+
+
+def test_finalize_keeps_disabled_bundle_registry_empty(tmp_path):
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.disabled()
+    telemetry.finalize()
+    assert not telemetry.metrics.to_dict()["gauges"]

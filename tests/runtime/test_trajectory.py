@@ -115,3 +115,38 @@ def test_default_path_is_repo_root():
     assert path.name == BENCH_RUNTIME_FILENAME
     # The repo root is where the package's src/ directory lives.
     assert (path.parent / "src" / "repro").is_dir()
+
+
+@pytest.mark.parametrize(
+    "content",
+    [b"", b"   \n\t  ", b'{"format_version": 1, "records": [{"ben'],
+    ids=["empty", "whitespace", "torn-json"],
+)
+def test_load_tolerates_torn_documents(tmp_path, content):
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_bytes(content)
+    doc = load_trajectory(path)
+    assert doc == {"format_version": 1, "records": []}
+
+
+def test_load_tolerates_invalid_utf8(tmp_path):
+    # A torn write can leave bytes that are not valid UTF-8; reading
+    # them raises UnicodeDecodeError (a ValueError), not JSONDecodeError.
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_bytes(b'{"format_version": 1, "rec\xff\xfe')
+    doc = load_trajectory(path)
+    assert doc == {"format_version": 1, "records": []}
+
+
+@pytest.mark.parametrize(
+    "content",
+    [b"", b"  \n ", b"not json at all", b'{"torn": \xff\xfe'],
+    ids=["empty", "whitespace", "garbage", "invalid-utf8"],
+)
+def test_record_benchmark_restarts_over_corrupt_file(tmp_path, content):
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_bytes(content)
+    record_benchmark("smoke", {"value": 1.0}, path=path)
+    doc = load_trajectory(path)
+    assert len(doc["records"]) == 1
+    assert doc["records"][0]["bench"] == "smoke"
