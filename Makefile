@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke health-smoke
+.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke health-smoke serve-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -61,3 +61,13 @@ chaos-smoke:
 health-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "health_smoke" --benchmark-disable -s
+
+# Serving-layer acceptance: warm-start a reliability API server from a
+# LiveAnalytics snapshot, drive concurrent clients across /v1/health,
+# /v1/ettr, /v1/mttf, /metrics and repeated identical what-if queries
+# (must cost exactly one simulation, counter-asserted), check the
+# breaker-open 503 + Retry-After degradation path, and append
+# requests/s + p50/p95 latency to BENCH_runtime.json.  ~30s.
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "serve_smoke" --benchmark-disable -s

@@ -1,0 +1,229 @@
+"""Serving-layer smoke: concurrent load against a warm reliability API.
+
+``make serve-smoke`` runs this module.  It warm-starts a server from a
+saved LiveAnalytics snapshot (the deploy path), drives concurrent
+clients across the read endpoints plus repeated identical what-if
+queries, asserts the single-simulation cache contract and the
+breaker-open degradation contract, and appends requests/s with p50/p95
+latency to ``BENCH_runtime.json``.
+"""
+
+import http.client
+import json
+import os
+import shutil
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.live import LiveAnalytics, LiveConfig, replay_trace
+from repro.resilience import Backoff, CircuitBreaker, RetryPolicy
+from repro.runtime import record_benchmark
+from repro.runtime.cache import TraceCache
+from repro.serve import BackgroundServer, ReliabilityService
+
+from conftest import show
+
+#: Smoke floor: a hand-rolled asyncio loop serving in-memory estimator
+#: reads clears this by a wide margin even on one busy CI core.
+MIN_REQUESTS_PER_SEC = 30.0
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 50
+
+#: Every client sends this identical what-if; the contract is ONE
+#: simulation total, everything else served from the response cache.
+WHATIF_PAYLOAD = json.dumps(
+    {"n_gpus": 100_000, "targets": [0.5, 0.9]}
+).encode()
+
+READ_ENDPOINTS = ("/v1/health", "/v1/ettr", "/v1/mttf", "/metrics")
+
+
+def _client_loop(server, client_id):
+    """One keep-alive client mixing reads and identical what-ifs."""
+    conn = http.client.HTTPConnection(
+        server.bound_host, server.bound_port, timeout=60
+    )
+    latencies = []
+    whatif_bodies = []
+    try:
+        for i in range(REQUESTS_PER_CLIENT):
+            t0 = time.perf_counter()
+            if i % 5 == 4:
+                conn.request(
+                    "POST", "/v1/whatif/checkpoint-cadence",
+                    body=WHATIF_PAYLOAD,
+                )
+                response = conn.getresponse()
+                body = response.read()
+                whatif_bodies.append(body)
+            else:
+                endpoint = READ_ENDPOINTS[(client_id + i) % len(READ_ENDPOINTS)]
+                conn.request("GET", endpoint)
+                response = conn.getresponse()
+                response.read()
+            assert response.status == 200, response.status
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        conn.close()
+    return latencies, whatif_bodies
+
+
+def test_serve_smoke(bench_rsc1_trace, tmp_path):
+    # --- warm start: replay once, snapshot, serve from the snapshot ---
+    warm = LiveAnalytics(LiveConfig.for_trace(bench_rsc1_trace))
+    replay_trace(bench_rsc1_trace, warm)
+    snapshot_path = tmp_path / "warm.json"
+    warm.save_snapshot(snapshot_path)
+    t0 = time.perf_counter()
+    analytics = LiveAnalytics.load_snapshot(snapshot_path)
+    warm_start_s = time.perf_counter() - t0
+    assert analytics.watermark == warm.watermark
+
+    service = ReliabilityService(
+        analytics,
+        trace_cache=TraceCache(enabled=False),
+        max_concurrent_whatif=4,
+    )
+
+    # --- concurrent mixed load ----------------------------------------
+    final_snapshot = tmp_path / "final.json"
+    with BackgroundServer(
+        service, snapshot_out=str(final_snapshot)
+    ) as server:
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            results = list(
+                pool.map(
+                    lambda cid: _client_loop(server, cid), range(N_CLIENTS)
+                )
+            )
+        wall_s = time.perf_counter() - t0
+    latencies = np.array([lat for lats, _ in results for lat in lats])
+    whatif_bodies = {body for _, bodies in results for body in bodies}
+    n_requests = latencies.size
+    n_whatif = sum(len(bodies) for _, bodies in results)
+    rps = n_requests / wall_s
+    p50_ms = float(np.percentile(latencies, 50)) * 1000.0
+    p95_ms = float(np.percentile(latencies, 95)) * 1000.0
+
+    # the single-simulation cache contract, counter-asserted
+    simulations = service.metrics.counter(
+        "serve_whatif_simulations_total"
+    ).value
+    cache_hits = service.metrics.counter(
+        "serve_whatif_cache_hits_total"
+    ).value
+    assert simulations == 1, (
+        f"{n_whatif} identical what-ifs must cost exactly one "
+        f"simulation, ran {simulations}"
+    )
+    # non-hits are the first miss plus concurrent requests that joined
+    # the in-flight computation (single-flight) — at most one per client
+    assert n_whatif - N_CLIENTS <= cache_hits <= n_whatif - 1
+    assert len(whatif_bodies) == 1, "cached responses must be bit-identical"
+    assert rps >= MIN_REQUESTS_PER_SEC, rps
+
+    # graceful stop wrote a complete final snapshot
+    restored = LiveAnalytics.load_snapshot(final_snapshot)
+    assert restored.watermark == analytics.watermark
+
+    # --- degradation: breaker-open -> 503 + Retry-After ---------------
+    def chaos_runner(spec):
+        raise RuntimeError("injected simulation failure")
+
+    degraded = ReliabilityService(
+        analytics,
+        trace_cache=TraceCache(enabled=False),
+        whatif_runner=chaos_runner,
+        breaker=CircuitBreaker(threshold=1),
+        retry=RetryPolicy(max_attempts=1, backoff=Backoff(base_s=0.0)),
+        retry_after_s=30.0,
+    )
+    with BackgroundServer(degraded) as server:
+        conn = http.client.HTTPConnection(
+            server.bound_host, server.bound_port, timeout=60
+        )
+        try:
+            conn.request(
+                "POST", "/v1/whatif/checkpoint-cadence",
+                body=json.dumps({"n_gpus": 64}).encode(),
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 500
+            conn.request(
+                "POST", "/v1/whatif/checkpoint-cadence",
+                body=json.dumps({"n_gpus": 128}).encode(),
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 503
+            retry_after = response.getheader("Retry-After")
+            assert retry_after == "30", retry_after
+        finally:
+            conn.close()
+
+    # --- record + artifacts -------------------------------------------
+    record = record_benchmark(
+        "serve",
+        {
+            "clients": N_CLIENTS,
+            "requests": int(n_requests),
+            "wall_s": round(wall_s, 4),
+            "requests_per_sec": round(rps, 1),
+            "p50_ms": round(p50_ms, 3),
+            "p95_ms": round(p95_ms, 3),
+            "warm_start_s": round(warm_start_s, 4),
+            "whatif_queries": int(n_whatif),
+            "whatif_simulations": int(simulations),
+            "whatif_cache_hits": int(cache_hits),
+            "breaker_503_retry_after": True,
+        },
+    )
+
+    latency_report = tmp_path / "serve-smoke.latency.json"
+    latency_report.write_text(
+        json.dumps(
+            {
+                "requests": int(n_requests),
+                "requests_per_sec": round(rps, 1),
+                "p50_ms": round(p50_ms, 3),
+                "p95_ms": round(p95_ms, 3),
+                "p99_ms": round(
+                    float(np.percentile(latencies, 99)) * 1000.0, 3
+                ),
+                "max_ms": round(float(latencies.max()) * 1000.0, 3),
+                "endpoints": list(READ_ENDPOINTS)
+                + ["/v1/whatif/checkpoint-cadence"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # CI uploads the latency report when this is set (see the
+    # serve-smoke workflow job); locally it defaults to off.
+    artifact_dir = os.environ.get("REPRO_SERVE_ARTIFACT_DIR")
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+        shutil.copy2(latency_report, artifact_dir)
+
+    show(
+        "serve smoke",
+        "\n".join(
+            [
+                f"clients           {N_CLIENTS} x {REQUESTS_PER_CLIENT} requests",
+                f"throughput        {rps:,.0f} requests/s "
+                f"(wall {wall_s:.2f}s)",
+                f"latency           p50 {p50_ms:.1f} ms / p95 {p95_ms:.1f} ms",
+                f"warm start        {warm_start_s * 1000:.0f} ms from snapshot",
+                f"what-if           {n_whatif} identical queries -> "
+                f"{simulations:.0f} simulation, {cache_hits:.0f} cache hits",
+                "degradation       breaker-open -> 503 + Retry-After: 30",
+                f"recorded to       BENCH_runtime.json "
+                f"({record['bench']} @ {record['timestamp']})",
+            ]
+        ),
+    )

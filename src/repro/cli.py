@@ -15,6 +15,7 @@ Subcommands::
     repro live      --cluster rsc1 --nodes 64 --days 30 --seed 42  # tap a fresh sim
     repro live      --telemetry out/ ...             # + obs stream for the session
     repro obs summary out/                           # telemetry run report
+    repro serve     --resume live.json --port 0      # reliability-as-a-service
     repro sweep     [--gpus 100000]
     repro plan      --gpus 100000 --rf 6.5 --target-ettr 0.9 [--restart-min 2]
 
@@ -373,6 +374,95 @@ def cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.live import LiveAnalytics, LiveConfig, replay_trace
+    from repro.runtime import TraceCache
+    from repro.serve import ReliabilityService, serve_until_shutdown
+    from repro.sim.timeunits import DAY
+
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.to_directory(args.telemetry, stem="serve")
+
+    trace_cache = TraceCache(enabled=False if args.no_cache else None)
+
+    if args.resume:
+        analytics = LiveAnalytics.load_snapshot(args.resume, telemetry=telemetry)
+        logger.info(
+            "resumed snapshot %s at day %.2f (%d items ingested)",
+            args.resume,
+            analytics.watermark / DAY,
+            sum(analytics.counts.values()),
+        )
+        if args.trace:
+            replay_trace(Trace.load(args.trace), analytics, batch_size=args.batch)
+    elif args.trace:
+        trace = Trace.load(args.trace)
+        analytics = LiveAnalytics(
+            LiveConfig.for_trace(trace), telemetry=telemetry
+        )
+        replay_trace(trace, analytics, batch_size=args.batch)
+    else:
+        from repro.runtime.cache import cached_run_campaign
+
+        if args.cluster == "rsc1":
+            spec = ClusterSpec.rsc1_like(
+                n_nodes=args.nodes, campaign_days=args.days
+            )
+        else:
+            spec = ClusterSpec.rsc2_like(
+                n_nodes=args.nodes, campaign_days=args.days
+            )
+        config = CampaignConfig(
+            cluster_spec=spec, duration_days=args.days, seed=args.seed
+        )
+        logger.info(
+            "warming from a fresh %s campaign: %d nodes x %s days (seed %d)",
+            spec.name, args.nodes, args.days, args.seed,
+        )
+        trace = cached_run_campaign(config, cache=trace_cache)
+        analytics = LiveAnalytics(
+            LiveConfig.for_trace(trace), telemetry=telemetry
+        )
+        replay_trace(trace, analytics, batch_size=args.batch)
+
+    service = ReliabilityService(
+        analytics,
+        telemetry=telemetry,
+        trace_cache=trace_cache,
+        whatif_cache_size=args.whatif_cache,
+        max_concurrent_whatif=args.whatif_workers,
+    )
+    snapshot_out = args.snapshot_out or args.resume
+
+    def on_bound(server) -> None:
+        # The stdout contract: the bound address is the ONLY stdout
+        # line, so `addr=$(repro serve --port 0 &)`-style automation can
+        # parse it.  Everything else goes through the stderr logger.
+        print(server.address, flush=True)
+        logger.info("serving on %s (Ctrl-C to stop)", server.address)
+
+    asyncio.run(
+        serve_until_shutdown(
+            service,
+            host=args.host,
+            port=args.port,
+            snapshot_out=snapshot_out,
+            grace_s=args.grace,
+            on_bound=on_bound,
+        )
+    )
+    if snapshot_out:
+        logger.info("final snapshot: %s", snapshot_out)
+    if telemetry is not None:
+        telemetry.finalize()
+    return 0
+
+
 def cmd_obs_summary(args: argparse.Namespace) -> int:
     from repro.obs import summarize
 
@@ -664,6 +754,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=4096,
                    help="bus flush batch size")
     p.set_defaults(func=cmd_live)
+
+    p = sub.add_parser(
+        "serve",
+        parents=[cluster_parent, telemetry_parent],
+        help="reliability-as-a-service: async HTTP API over the live "
+             "estimators",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="0 binds an ephemeral port; the bound address is "
+                        "printed as the only stdout line")
+    p.add_argument("--trace", default=None,
+                   help="warm-start by replaying this saved trace")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="warm-start from an estimator snapshot "
+                        "(combine with --trace to continue its replay)")
+    p.add_argument("--snapshot-out", default=None, metavar="PATH",
+                   help="write a final atomic snapshot here on shutdown "
+                        "(default: the --resume path, if given)")
+    p.add_argument("--whatif-cache", type=int, default=256,
+                   help="bounded-LRU size of the what-if response cache")
+    p.add_argument("--whatif-workers", type=int, default=2,
+                   help="max concurrent what-if computations before "
+                        "503 overload")
+    p.add_argument("--grace", type=float, default=1.0,
+                   help="seconds in-flight requests get to finish on "
+                        "SIGTERM/SIGINT")
+    p.add_argument("--batch", type=int, default=4096,
+                   help="bus flush batch size for warm-start replay")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed trace cache for "
+                        "on-demand what-if campaigns")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("obs", help="inspect emitted telemetry")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

@@ -272,8 +272,33 @@ class LiveAnalytics:
         return analytics
 
     def save_snapshot(self, path: Union[str, Path]) -> Path:
+        """Write the snapshot atomically (tmp + rename).
+
+        A reader — or a process killed mid-write — can only ever observe
+        the previous complete document or the new complete document,
+        never a torn prefix.  This is the property the serve layer's
+        shutdown path relies on.
+        """
+        import os
+        import tempfile
+
         path = Path(path)
-        path.write_text(json.dumps(self.snapshot()) + "\n", encoding="utf-8")
+        payload = json.dumps(self.snapshot()) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

@@ -25,6 +25,10 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: The content type Prometheus scrapers expect for the text exposition
+#: format rendered by :meth:`MetricsRegistry.render_prometheus`.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))

@@ -1,0 +1,47 @@
+"""`repro.serve` — reliability-as-a-service over the live estimators.
+
+An asyncio HTTP/1.1 server (stdlib only) that turns the paper's offline
+reliability analyses into queryable endpoints: fleet health, MTTF/ETTR
+forecasts, lemon suspects, Prometheus metrics, versioned snapshots, and
+checkpoint-cadence what-if queries (Fig. 10 on demand) with
+config-digest response caching layered on the content-addressed trace
+cache.  See ``docs/SERVING.md`` for the endpoint and degradation
+contract.
+"""
+
+from repro.serve.cache import ResponseCache, payload_digest
+from repro.serve.http11 import (
+    HttpError,
+    Request,
+    Response,
+    canonical_json,
+    read_request,
+)
+from repro.serve.server import (
+    BackgroundServer,
+    ReliabilityServer,
+    serve_until_shutdown,
+)
+from repro.serve.service import (
+    SERVE_SCHEMA_VERSION,
+    ReliabilityService,
+    WhatIfCampaign,
+    WhatIfSpec,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "HttpError",
+    "ReliabilityServer",
+    "ReliabilityService",
+    "Request",
+    "Response",
+    "ResponseCache",
+    "SERVE_SCHEMA_VERSION",
+    "WhatIfCampaign",
+    "WhatIfSpec",
+    "canonical_json",
+    "payload_digest",
+    "read_request",
+    "serve_until_shutdown",
+]

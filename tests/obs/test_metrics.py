@@ -102,6 +102,14 @@ def test_render_prometheus_format():
     assert 'wall_seconds_sum 2' in text
 
 
+def test_prometheus_content_type_constant():
+    # The exposition rendered by render_prometheus() must be served with
+    # the text-format content type Prometheus scrapers negotiate on.
+    from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+
+    assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
 def test_histogram_downsamples_but_keeps_moments():
     reg = MetricsRegistry()
     h = reg.histogram("big")

@@ -1,0 +1,23 @@
+"""Serve-layer fixtures: one warm analytics session per test session."""
+
+import pytest
+
+from repro.live import LiveAnalytics, LiveConfig, replay_trace
+from repro.runtime.cache import TraceCache
+from repro.serve import ReliabilityService
+
+
+@pytest.fixture(scope="session")
+def warm_analytics(rsc1_trace):
+    """A LiveAnalytics session warmed by replaying the shared trace."""
+    analytics = LiveAnalytics(LiveConfig.for_trace(rsc1_trace))
+    replay_trace(rsc1_trace, analytics)
+    return analytics
+
+
+@pytest.fixture()
+def service(warm_analytics):
+    """A fresh service per test (caches/breaker state must not leak)."""
+    return ReliabilityService(
+        warm_analytics, trace_cache=TraceCache(enabled=False)
+    )

@@ -1,0 +1,77 @@
+"""Response-cache semantics: digest stability and deterministic LRU."""
+
+from repro.serve import WhatIfSpec, payload_digest
+from repro.serve.cache import ResponseCache
+
+
+def test_payload_digest_stable_across_key_order():
+    assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+
+def test_payload_digest_distinguishes_values():
+    assert payload_digest({"seed": 1}) != payload_digest({"seed": 2})
+
+
+def test_spec_digest_identical_for_identical_payloads():
+    a = WhatIfSpec.from_payload({"n_gpus": 4096, "targets": [0.9]})
+    b = WhatIfSpec.from_payload({"targets": [0.9], "n_gpus": 4096})
+    assert a.digest() == b.digest()
+
+
+def test_spec_digest_misses_on_differing_seed():
+    base = {"campaign": {"cluster": "rsc1", "nodes": 8, "days": 2, "seed": 1}}
+    other = {"campaign": {"cluster": "rsc1", "nodes": 8, "days": 2, "seed": 2}}
+    assert (
+        WhatIfSpec.from_payload(base).digest()
+        != WhatIfSpec.from_payload(other).digest()
+    )
+
+
+def test_spec_digest_misses_on_differing_options():
+    a = WhatIfSpec.from_payload({"intervals_minutes": [5, 10]})
+    b = WhatIfSpec.from_payload({"intervals_minutes": [5, 10, 30]})
+    assert a.digest() != b.digest()
+
+
+def test_hit_miss_accounting():
+    cache = ResponseCache(max_entries=4)
+    assert cache.get("a") is None
+    cache.put("a", b"body-a")
+    assert cache.get("a") == b"body-a"
+    assert cache.stats() == {
+        "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+    }
+
+
+def test_lru_evicts_deterministically():
+    cache = ResponseCache(max_entries=2)
+    cache.put("a", b"A")
+    cache.put("b", b"B")
+    cache.get("a")  # refresh A: B is now least-recently-used
+    cache.put("c", b"C")
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.evictions == 1
+    # a second overflow evicts the *new* LRU (a, untouched since its get)
+    cache.put("d", b"D")
+    assert "a" not in cache
+    assert cache.evictions == 2
+
+
+def test_put_refreshes_recency():
+    cache = ResponseCache(max_entries=2)
+    cache.put("a", b"A")
+    cache.put("b", b"B")
+    cache.put("a", b"A2")  # rewrite refreshes a
+    cache.put("c", b"C")
+    assert "a" in cache and cache.get("a") == b"A2"
+    assert "b" not in cache
+
+
+def test_bodies_are_copied_bytes():
+    cache = ResponseCache()
+    body = bytearray(b"mutable")
+    cache.put("k", body)
+    body[0:1] = b"X"
+    assert cache.get("k") == b"mutable"

@@ -1,0 +1,151 @@
+"""Protocol tests for the hand-rolled HTTP/1.1 parser and encoder."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http11 import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    Response,
+    canonical_json,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to read_request through a StreamReader."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_parses_simple_get():
+    request = parse(b"GET /v1/health?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/v1/health"
+    assert request.query == {"verbose": "1"}
+    assert request.headers["host"] == "x"
+    assert request.body == b""
+    assert request.keep_alive
+
+
+def test_parses_post_body_by_content_length():
+    body = json.dumps({"n_gpus": 1024}).encode()
+    raw = (
+        b"POST /v1/whatif/checkpoint-cadence HTTP/1.1\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.json() == {"n_gpus": 1024}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_malformed_request_line_is_400():
+    with pytest.raises(HttpError) as err:
+        parse(b"NONSENSE\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_unsupported_protocol_is_400():
+    with pytest.raises(HttpError) as err:
+        parse(b"GET / HTTP/2.0\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_oversized_request_line_is_431():
+    with pytest.raises(HttpError) as err:
+        parse(b"GET /" + b"a" * 10_000 + b" HTTP/1.1\r\n\r\n")
+    assert err.value.status == 431
+
+
+def test_oversized_headers_are_431():
+    headers = b"".join(
+        b"X-Pad-%d: %s\r\n" % (i, b"v" * 1000) for i in range(64)
+    )
+    with pytest.raises(HttpError) as err:
+        parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+    assert err.value.status == 431
+
+
+def test_oversized_body_is_413():
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(HttpError) as err:
+        parse(raw)
+    assert err.value.status == 413
+
+
+def test_chunked_transfer_encoding_is_501():
+    with pytest.raises(HttpError) as err:
+        parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert err.value.status == 501
+
+
+def test_truncated_body_is_400():
+    with pytest.raises(HttpError) as err:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert err.value.status == 400
+
+
+def test_keep_alive_defaults():
+    r11 = Request("GET", "/", "/", {}, {})
+    assert r11.keep_alive
+    r11_close = Request("GET", "/", "/", {}, {"connection": "close"})
+    assert not r11_close.keep_alive
+    r10 = Request("GET", "/", "/", {}, {}, http_version="HTTP/1.0")
+    assert not r10.keep_alive
+    r10_ka = Request(
+        "GET", "/", "/", {"": ""}, {"connection": "keep-alive"},
+        http_version="HTTP/1.0",
+    )
+    assert r10_ka.keep_alive
+
+
+def test_typed_query_params_raise_400():
+    request = Request("GET", "/", "/", {"gpus": "many"}, {})
+    with pytest.raises(HttpError) as err:
+        request.int_param("gpus")
+    assert err.value.status == 400
+    request = Request("GET", "/", "/", {"simple": "maybe"}, {})
+    with pytest.raises(HttpError):
+        request.bool_param("simple")
+
+
+def test_response_encode_has_exact_framing():
+    wire = Response.json({"b": 1, "a": 2}).encode(keep_alive=True)
+    head, _, body = wire.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Connection: keep-alive" in head
+    length = [
+        line for line in head.split(b"\r\n")
+        if line.lower().startswith(b"content-length")
+    ]
+    assert length == [b"Content-Length: %d" % len(body)]
+    # canonical body: sorted keys
+    assert body == b'{"a": 2, "b": 1}\n'
+
+
+def test_canonical_json_coerces_numpy_scalars():
+    np = pytest.importorskip("numpy")
+    assert canonical_json({"x": np.float64(1.5)}) == b'{"x": 1.5}\n'
+    assert canonical_json({"n": np.int64(3)}) == b'{"n": 3}\n'
+
+
+def test_http_error_response_carries_retry_after():
+    response = HttpError(503, "overload", retry_after=12.4).response()
+    assert response.status == 503
+    assert ("Retry-After", "12") in response.headers
