@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke health-smoke serve-smoke
+.PHONY: test bench bench-smoke obs-smoke perf-smoke live-smoke chaos-smoke health-smoke serve-smoke backend-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -q
@@ -71,3 +71,12 @@ health-smoke:
 serve-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
 		-k "serve_smoke" --benchmark-disable -s
+
+# Execution-backend acceptance: one small multi-seed sweep runs on all
+# three backends (inline / local-pool / work-queue) and the traces must
+# digest bit-identical — where the work ran is invisible in the bits.
+# Per-backend dispatch throughput is appended to BENCH_runtime.json.
+# Finishes in ~30s.
+backend-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q \
+		-k "backend_smoke" --benchmark-disable -s

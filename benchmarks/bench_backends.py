@@ -1,0 +1,102 @@
+"""Backend smoke: one sweep, three execution backends, identical bits.
+
+The ``make backend-smoke`` experiment (also a CI job): a small
+multi-seed sweep runs on every registered built-in backend — ``inline``
+(serial in-process), ``local-pool`` (process pool), ``work-queue``
+(filesystem queue + drainer processes) — and the resulting traces must
+digest bit-identical across all of them.  Per-backend dispatch
+throughput (campaigns/s and simulated events/s) is printed and appended
+to BENCH_runtime.json, so the overhead of each dispatch mechanism is a
+tracked number, not an anecdote.
+"""
+
+import time
+
+from repro import CampaignConfig, ClusterSpec, RunOptions
+from repro.analysis.report import render_table
+from repro.runtime import (
+    CampaignPool,
+    record_benchmark,
+    seed_sweep_configs,
+    trace_digest,
+)
+
+N_SEEDS = 4
+NODES = 16
+DAYS = 3
+BACKENDS = ("inline", "local-pool", "work-queue")
+
+
+def _sweep_configs():
+    spec = ClusterSpec.rsc1_like(n_nodes=NODES, campaign_days=DAYS)
+    base = CampaignConfig(cluster_spec=spec, duration_days=DAYS, seed=0)
+    return seed_sweep_configs(base, range(N_SEEDS))
+
+
+def test_backend_smoke_digest_parity():
+    configs = _sweep_configs()
+    digests = {}
+    runs = {}
+    for backend in BACKENDS:
+        workers = None if backend == "inline" else 2
+        pool = CampaignPool(
+            options=RunOptions(backend=backend, workers=workers, cache=False)
+        )
+        t0 = time.perf_counter()
+        traces = pool.run(configs)
+        wall_s = time.perf_counter() - t0
+        digests[backend] = [trace_digest(t) for t in traces]
+        stats = pool.last_stats
+        assert stats.simulated == N_SEEDS
+        assert stats.backend == backend
+        runs[backend] = {
+            "wall_s": wall_s,
+            "campaigns_per_s": N_SEEDS / wall_s if wall_s > 0 else 0.0,
+            "events_per_sec": stats.events_per_sec,
+            "workers": stats.workers,
+        }
+
+    # The acceptance criterion: where the work ran is invisible in the
+    # bits — every backend reproduced the same digests.
+    reference = digests["inline"]
+    for backend in BACKENDS:
+        assert digests[backend] == reference, backend
+
+    rows = [
+        (
+            backend,
+            f"{runs[backend]['wall_s']:.2f}s",
+            f"{runs[backend]['campaigns_per_s']:.2f}",
+            f"{runs[backend]['events_per_sec']:,.0f}",
+            str(runs[backend]["workers"]),
+        )
+        for backend in BACKENDS
+    ]
+    print()
+    print(
+        render_table(
+            ["backend", "wall", "campaigns/s", "events/s", "workers"],
+            rows,
+            title=(
+                f"Backend smoke — {N_SEEDS}-seed sweep on every backend "
+                f"(digests identical)"
+            ),
+        )
+    )
+
+    record_benchmark(
+        "backend_dispatch",
+        {
+            "seeds": N_SEEDS,
+            "nodes": NODES,
+            "days": DAYS,
+            "digest_parity": True,
+            **{
+                f"{backend}_{key}": round(value, 3)
+                if isinstance(value, float)
+                else value
+                for backend in BACKENDS
+                for key, value in runs[backend].items()
+            },
+        },
+    )

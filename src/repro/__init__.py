@@ -20,7 +20,11 @@ Execution is configured through one object — :class:`repro.RunOptions`
 the analysis entry points, and ``repro.live``; the resilient execution
 layer (retry/backoff, chaos injection, crash-safe checkpointed sweeps)
 lives in :mod:`repro.resilience` and plugs in via
-``RunOptions(resilience=..., checkpoint_dir=...)``.
+``RunOptions(resilience=..., checkpoint_dir=...)``.  *Where* sweep
+attempts execute is pluggable too: :mod:`repro.backends` defines the
+:class:`ExecutionBackend` protocol with ``inline``, ``local-pool``,
+and ``work-queue`` implementations, selected via
+``RunOptions(backend=...)`` — traces are bit-identical on all of them.
 
 Quickstart::
 
@@ -75,6 +79,12 @@ _LAZY_EXPORTS = {
         "repro.resilience.checkpoint",
         "CampaignCheckpoint",
     ),
+    "ArtifactStore": ("repro.backends.artifacts", "ArtifactStore"),
+    "ExecutionBackend": ("repro.backends.base", "ExecutionBackend"),
+    "InlineBackend": ("repro.backends.inline", "InlineBackend"),
+    "LocalPoolBackend": ("repro.backends.local_pool", "LocalPoolBackend"),
+    "WorkQueueBackend": ("repro.backends.workqueue", "WorkQueueBackend"),
+    "create_backend": ("repro.backends", "create_backend"),
 }
 
 
@@ -83,6 +93,7 @@ def __dir__():
 
 
 __all__ = [
+    "ArtifactStore",
     "Campaign",
     "CampaignCheckpoint",
     "CampaignConfig",
@@ -91,10 +102,13 @@ __all__ = [
     "Cluster",
     "ClusterSpec",
     "DEFAULT_OPTIONS",
+    "ExecutionBackend",
+    "InlineBackend",
     "IntendedOutcome",
     "JobAttemptRecord",
     "JobState",
     "LiveAnalytics",
+    "LocalPoolBackend",
     "MAX_JOB_LIFETIME",
     "NodeTraceRecord",
     "QosTier",
@@ -104,7 +118,9 @@ __all__ = [
     "Telemetry",
     "Trace",
     "TraceCache",
+    "WorkQueueBackend",
     "WorkloadProfile",
+    "create_backend",
     "run_campaign",
     "run_campaigns",
     "rsc1_profile",

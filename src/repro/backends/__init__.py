@@ -1,0 +1,68 @@
+"""Pluggable execution backends for campaign dispatch.
+
+:class:`~repro.runtime.pool.CampaignPool` owns dispatch *policy*
+(waves, retries, the circuit breaker, checkpoint resume); a backend
+owns the *mechanism* — where an attempt actually executes.  Three ship
+in-tree, all registered by name for ``RunOptions(backend=...)`` and
+``repro campaign --backend ...``:
+
+============  ==========================================================
+``inline``    Serial, in the dispatcher's process.  The determinism
+              reference and the degradation target.
+``local-pool``  A ``ProcessPoolExecutor`` on this machine (the
+              default): hard-kill/respawn of hung or dead workers,
+              per-wave timeouts.
+``work-queue``  A filesystem queue drained by embedded children or
+              external ``repro worker`` processes on any host; results
+              flow through a shared :class:`ArtifactStore`.
+============  ==========================================================
+
+The backend never affects simulated content: the same
+:class:`~repro.options.RunOptions` produces bit-identical traces
+(equal ``trace_digest``) on every backend, chaos injection included —
+``tests/backends/test_backend_parity.py`` holds the line.
+
+See ``docs/BACKENDS.md`` for the protocol contract and a guide to
+writing (and registering) a custom backend.
+"""
+
+from repro.backends.artifacts import ArtifactStore
+from repro.backends.base import (
+    BACKENDS,
+    BackendCapabilities,
+    BackendError,
+    BackendUnavailable,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    OUTCOME_KINDS,
+    TaskOutcome,
+    TaskSpec,
+    backend_names,
+    create_backend,
+    execute_task,
+    register_backend,
+)
+from repro.backends.inline import InlineBackend
+from repro.backends.local_pool import LocalPoolBackend
+from repro.backends.workqueue import WorkQueueBackend, drain_queue
+
+__all__ = [
+    "ArtifactStore",
+    "BACKENDS",
+    "BackendCapabilities",
+    "BackendError",
+    "BackendUnavailable",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "InlineBackend",
+    "LocalPoolBackend",
+    "OUTCOME_KINDS",
+    "TaskOutcome",
+    "TaskSpec",
+    "WorkQueueBackend",
+    "backend_names",
+    "create_backend",
+    "drain_queue",
+    "execute_task",
+    "register_backend",
+]

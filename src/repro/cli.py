@@ -6,6 +6,9 @@ Subcommands::
                     --out trace.jsonl [--lemon-detection] [--risk-aware]
     repro campaign  --seeds 0,1,2,3 --workers 4      # pooled multi-seed sweep
     repro campaign  --seeds 0..7 --resume ckpt/      # crash-safe, resumable
+    repro campaign  --seeds 0..7 --backend work-queue \
+                    --backend-opt root=/shared/queue # distributed dispatch
+    repro worker    /shared/queue [--once]           # drain a work queue
     repro campaign  --telemetry out/ ...             # + obs streams per trace
     repro run       ...                              # alias for campaign
     repro analyze   --trace trace.jsonl --figure fig3
@@ -111,6 +114,29 @@ def _seed_out_path(out: str, seed: int, multi: bool) -> Path:
     if not multi:
         return path
     return path.with_name(f"{path.stem}-seed{seed}{path.suffix}")
+
+
+def _parse_backend_opts(pairs) -> dict:
+    """``--backend-opt KEY=VALUE`` pairs -> a backend_options dict.
+
+    Values are JSON-parsed when possible (``workers=4`` -> int,
+    ``embedded=false`` -> bool) and kept as strings otherwise
+    (``root=/shared/queue``).
+    """
+    import json
+
+    options = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--backend-opt expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            options[key] = json.loads(value)
+        except json.JSONDecodeError:
+            options[key] = value
+    return options
 
 
 def _run_campaigns_with_telemetry(args, configs, seeds) -> int:
@@ -219,11 +245,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return _run_campaigns_with_telemetry(args, configs, seeds)
     from repro.options import RunOptions
 
+    try:
+        backend_options = _parse_backend_opts(
+            getattr(args, "backend_opt", None)
+        )
+    except ValueError as err:
+        logger.error("%s", err)
+        return 2
     pool = CampaignPool(
         options=RunOptions(
             workers=args.workers,
             cache=False if args.no_cache else None,
             checkpoint_dir=args.resume,
+            backend=getattr(args, "backend", None) or "local-pool",
+            backend_options=backend_options or None,
         )
     )
     try:
@@ -244,6 +279,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             source,
         )
     logger.info("%s", pool.last_stats.render())
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Drain a work-queue directory: the external half of ``work-queue``.
+
+    Any number of these can run concurrently, on any hosts sharing the
+    queue's filesystem; each claims tasks atomically, simulates them,
+    and publishes the traces into the queue's shared artifact store.
+    The dispatcher (``repro campaign --backend work-queue --backend-opt
+    root=DIR``) picks the results up from there.
+    """
+    import json
+
+    from repro.backends import drain_queue
+
+    queue = Path(args.queue)
+    logger.info(
+        "draining %s (poll every %.3fs%s%s) ...",
+        queue,
+        args.poll_interval,
+        f", at most {args.max_tasks} tasks" if args.max_tasks else "",
+        ", until empty" if args.once else "",
+    )
+    stats = drain_queue(
+        queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_tasks=args.max_tasks,
+        stop_when_empty=args.once,
+    )
+    logger.info(
+        "worker %s: %d drained, %d failed",
+        stats["worker"], stats["drained"], stats["failed"],
+    )
+    print(json.dumps(stats))
     return 0
 
 
@@ -430,12 +501,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         replay_trace(trace, analytics, batch_size=args.batch)
 
+    run_options = None
+    if getattr(args, "backend", None):
+        from repro.options import RunOptions
+
+        try:
+            backend_options = _parse_backend_opts(
+                getattr(args, "backend_opt", None)
+            )
+        except ValueError as err:
+            logger.error("%s", err)
+            return 2
+        run_options = RunOptions(
+            backend=args.backend, backend_options=backend_options or None
+        )
     service = ReliabilityService(
         analytics,
         telemetry=telemetry,
         trace_cache=trace_cache,
         whatif_cache_size=args.whatif_cache,
         max_concurrent_whatif=args.whatif_workers,
+        run_options=run_options,
     )
     snapshot_out = args.snapshot_out or args.resume
 
@@ -688,7 +774,23 @@ def _parent_parsers():
         help="write structured telemetry (.events.jsonl streams plus "
              ".metrics.json snapshots) into DIR; inspect with "
              "`repro obs summary DIR`")
-    return cluster, sweep, telemetry
+
+    from repro.backends import backend_names
+
+    backend = argparse.ArgumentParser(add_help=False)
+    backend.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="execution backend for simulations: inline (serial, "
+             "in-process), local-pool (process pool, the default), or "
+             "work-queue (filesystem queue drained by `repro worker` "
+             "processes on any host)")
+    backend.add_argument(
+        "--backend-opt", action="append", default=None, metavar="KEY=VALUE",
+        help="backend factory option (repeatable), e.g. "
+             "--backend-opt root=/shared/queue --backend-opt "
+             "embedded=false for work-queue; values are JSON-parsed "
+             "when possible")
+    return cluster, sweep, telemetry, backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -709,11 +811,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="errors only on stderr (stdout results are unaffected)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    cluster_parent, sweep_parent, telemetry_parent = _parent_parsers()
+    (
+        cluster_parent,
+        sweep_parent,
+        telemetry_parent,
+        backend_parent,
+    ) = _parent_parsers()
 
     p = sub.add_parser(
         "campaign", aliases=["run"],
-        parents=[cluster_parent, sweep_parent, telemetry_parent],
+        parents=[cluster_parent, sweep_parent, telemetry_parent,
+                 backend_parent],
         help="simulate a cluster campaign",
     )
     p.add_argument("--out", default="trace.jsonl")
@@ -756,8 +864,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_live)
 
     p = sub.add_parser(
+        "worker",
+        help="drain a work-queue directory (the work-queue backend's "
+             "external worker; run any number on any hosts sharing it)",
+    )
+    p.add_argument("queue",
+                   help="queue directory (--backend-opt root=DIR of the "
+                        "dispatching sweep)")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker identity in claims and acks "
+                        "(default: worker-<pid>)")
+    p.add_argument("--max-tasks", type=int, default=None,
+                   help="exit after processing this many tasks")
+    p.add_argument("--poll-interval", type=float, default=0.05,
+                   help="seconds between queue re-checks when idle")
+    p.add_argument("--once", action="store_true",
+                   help="exit when the queue runs empty instead of "
+                        "waiting for more work (or the STOP sentinel)")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
         "serve",
-        parents=[cluster_parent, telemetry_parent],
+        parents=[cluster_parent, telemetry_parent, backend_parent],
         help="reliability-as-a-service: async HTTP API over the live "
              "estimators",
     )

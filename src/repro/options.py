@@ -28,7 +28,7 @@ call and are merged into the options object by :func:`resolve_options`.
 
 import warnings
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Optional, TYPE_CHECKING, Union
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.obs.telemetry import Telemetry
@@ -87,6 +87,17 @@ class RunOptions:
         checkpoint_dir: Directory for crash-safe sweep checkpoints
             (completed-seed manifest + partial results); ``None``
             disables checkpointing.
+        backend: Execution backend name for sweeps — ``"local-pool"``
+            (process pool on this machine, the default), ``"inline"``
+            (serial, in-process), ``"work-queue"`` (filesystem queue
+            drained by ``repro worker`` processes on any host), or any
+            name registered via
+            :func:`repro.backends.register_backend`.  Backends never
+            affect simulated content: traces are bit-identical across
+            all of them.
+        backend_options: Free-form keyword options for the backend
+            factory (e.g. ``{"root": "/shared/queue"}`` for
+            ``work-queue``); normalized to a plain dict.
     """
 
     use_columns: bool = True
@@ -97,10 +108,23 @@ class RunOptions:
     workers: Optional[int] = None
     resilience: Optional["ResilienceConfig"] = None
     checkpoint_dir: Optional[str] = None
+    backend: str = "local-pool"
+    backend_options: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self):
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"backend must be a non-empty backend name, "
+                f"got {self.backend!r}"
+            )
+        if self.backend_options is not None and not isinstance(
+            self.backend_options, dict
+        ):
+            object.__setattr__(
+                self, "backend_options", dict(self.backend_options)
+            )
 
     def replace(self, **changes: Any) -> "RunOptions":
         """Frozen-dataclass update (``dataclasses.replace`` convenience)."""

@@ -33,7 +33,7 @@ from repro.obs.spans import maybe_span
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
-    from repro.runtime.cache import TraceCache
+    from repro.backends.artifacts import ArtifactStore
 
 
 def _config_digest(config) -> str:
@@ -45,11 +45,11 @@ def _config_digest(config) -> str:
     return config_digest(config)
 
 
-def _partial_result_store(directory: Path) -> "TraceCache":
+def _partial_result_store(directory: Path) -> "ArtifactStore":
     # Same lazy-import rationale as :func:`_config_digest`.
-    from repro.runtime.cache import TraceCache
+    from repro.backends.artifacts import ArtifactStore
 
-    return TraceCache(root=directory / "entries", enabled=True)
+    return ArtifactStore(directory / "entries")
 
 
 #: Bump when the manifest document shape changes; resume rejects
@@ -86,9 +86,11 @@ class CampaignCheckpoint:
 
     def __init__(self, directory: Union[str, os.PathLike]):
         self.directory = Path(directory)
-        #: Content-addressed, digest-verified npz store for the partial
-        #: results (deliberately the cache's entry machinery: atomic
-        #: writes, integrity stamps, quarantine of corrupt entries).
+        #: Content-addressed, digest-verified, multi-writer-safe store
+        #: for the partial results — the shared
+        #: :class:`~repro.backends.artifacts.ArtifactStore` (atomic
+        #: writes, integrity stamps, quarantine, per-key write locks),
+        #: so any worker on any backend can contribute completed shards.
         self.store = _partial_result_store(self.directory)
         self.run_id: Optional[str] = None
         self.digests: List[str] = []

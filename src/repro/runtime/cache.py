@@ -90,6 +90,7 @@ class TraceCache:
         enabled: Optional[bool] = None,
         telemetry=None,
         verify: bool = True,
+        source_label: Optional[str] = "cache",
     ):
         self.root = Path(root) if root is not None else default_cache_root()
         self.enabled = cache_enabled_by_env() if enabled is None else enabled
@@ -97,6 +98,12 @@ class TraceCache:
         #: mismatches (quarantining the entry).  Legacy entries without a
         #: digest stamp are served unverified either way.
         self.verify = verify
+        #: Stamped into ``metadata["runtime"]["source"]`` on every hit;
+        #: ``None`` preserves whatever provenance the stored trace
+        #: carried (the :class:`~repro.backends.artifacts.ArtifactStore`
+        #: posture — a shard a remote worker simulated stays
+        #: ``"simulated"``).
+        self.source_label = source_label
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -205,7 +212,19 @@ class TraceCache:
         """
         if not self.enabled:
             return None
-        digest = config_digest(config)
+        return self.get_by_digest(config_digest(config))
+
+    def get_by_digest(self, digest: str) -> Optional[Trace]:
+        """Digest-keyed read: the entry machinery without config hashing.
+
+        This is the surface :class:`~repro.backends.artifacts.ArtifactStore`
+        shares across hosts — a caller holding only a content address
+        (e.g. a work-queue dispatcher) loads the entry, with the same
+        stamp checks, integrity verification, and quarantine treatment
+        as a config-keyed read.
+        """
+        if not self.enabled:
+            return None
         trace: Optional[Trace] = None
         for path, loader in (
             (self._entry_path(digest), self._load_npz_entry),
@@ -226,9 +245,10 @@ class TraceCache:
             return None
         self.hits += 1
         self._observe("hit", digest)
-        runtime = dict(trace.metadata.get("runtime", {}))
-        runtime["source"] = "cache"
-        trace.metadata["runtime"] = runtime
+        if self.source_label is not None:
+            runtime = dict(trace.metadata.get("runtime", {}))
+            runtime["source"] = self.source_label
+            trace.metadata["runtime"] = runtime
         return trace
 
     def put(self, config: "CampaignConfig", trace: Trace) -> Optional[Path]:
@@ -239,7 +259,12 @@ class TraceCache:
         """
         if not self.enabled:
             return None
-        digest = config_digest(config)
+        return self.put_by_digest(config_digest(config), trace)
+
+    def put_by_digest(self, digest: str, trace: Trace) -> Optional[Path]:
+        """Digest-keyed write (see :meth:`get_by_digest`)."""
+        if not self.enabled:
+            return None
         path = self._entry_path(digest)
         stamps: Dict[str, Any] = {
             "cache_entry": CACHE_ENTRY_VERSION,

@@ -1,4 +1,4 @@
-"""Parallel campaign execution: fan configs across worker processes.
+"""Parallel campaign execution: fan configs across an execution backend.
 
 ``CampaignPool`` is the sweep engine behind every multi-campaign workload
 in the repository — multi-seed validation sweeps, ablation pairs, and
@@ -10,20 +10,32 @@ checkpoint/size grids.  Semantics:
 * **Cache first** — each config is looked up in the content-addressed
   :class:`~repro.runtime.cache.TraceCache` before any work is dispatched;
   only misses are simulated, and fresh results are written back.
-* **Failure is the steady state** — the pool treats its own workers the
-  way the paper's clusters treat nodes.  Every config carries a retry
-  budget with exponential, seeded-jitter backoff; a worker that dies
-  mid-seed (OOM-kill, segfault, chaos injection) is detected through the
-  broken executor, the executor is respawned, and the lost attempts are
-  re-dispatched; a per-attempt timeout reclaims hung workers; and a
-  circuit breaker degrades to inline execution after repeated pool-level
-  failures rather than fighting a broken ``multiprocessing`` environment.
-  All recovery actions are accounted in ``resilience_*`` metrics.
+* **Pluggable mechanism, fixed policy** — the pool owns dispatch policy
+  (waves, retry budgets, the circuit breaker, checkpoint resume) and
+  delegates *where* attempts run to an
+  :class:`~repro.backends.ExecutionBackend`:
+  ``inline`` (serial, in-process), ``local-pool`` (this machine's
+  cores — the default), or ``work-queue`` (a filesystem queue drained
+  by workers on any host).  The backend never affects simulated
+  content: the same configs produce bit-identical traces on every
+  backend, chaos included.
+* **Failure is the steady state** — the pool treats its workers the way
+  the paper's clusters treat nodes.  Every config carries a retry budget
+  with exponential, seeded-jitter backoff; a worker that dies mid-seed
+  (OOM-kill, segfault, chaos injection) surfaces as a ``"lost"`` outcome,
+  the backend is hard-killed and respawned, and the lost attempts are
+  re-dispatched; a per-wave timeout reclaims hung workers; and a circuit
+  breaker degrades to inline execution after repeated backend-level
+  failures rather than fighting a broken environment.  All recovery
+  actions are accounted in ``resilience_*`` metrics, and every dispatch
+  wave is measured (``backend.wave`` spans,
+  ``backend_dispatch_total{backend=...}`` counters).
 * **Crash-safe sweeps** — pass a
   :class:`~repro.resilience.checkpoint.CampaignCheckpoint` (or
   ``RunOptions(checkpoint_dir=...)``) and every completed config is
   persisted (manifest + partial results, both atomic); re-running the
-  interrupted sweep resumes bit-identically.
+  interrupted sweep resumes bit-identically — on the *same* backend or
+  a different one.
 * **Graceful degradation** — with one usable core, a single miss, or a
   broken ``multiprocessing`` environment, the pool runs in-process with
   identical results (campaign determinism is seeded, not scheduling-
@@ -35,13 +47,19 @@ aggregates the sweep (hits, misses, retries, workers, events/sec) so
 speedups and recoveries are measurable, not anecdotal.
 """
 
-import concurrent.futures
-import multiprocessing
 import os
-import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.backends import (
+    BackendUnavailable,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    TaskSpec,
+    create_backend,
+    execute_task,
+)
 from repro.campaign import CampaignConfig, run_campaign
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import maybe_span
@@ -68,7 +86,12 @@ _POOL_COUNTERS = (
 
 @dataclass(frozen=True)
 class _SimTask:
-    """One dispatchable simulation attempt (picklable for workers)."""
+    """Back-compat alias shape for one dispatchable attempt.
+
+    The canonical spec is :class:`repro.backends.TaskSpec`; this wrapper
+    keeps the pre-backends field set (``subprocess``) for the in-process
+    fallback path.
+    """
 
     config: CampaignConfig
     digest: str
@@ -78,23 +101,17 @@ class _SimTask:
 
 
 def _simulate_task(task: _SimTask, telemetry=None) -> Trace:
-    """Module-level worker body (must be picklable for multiprocessing).
-
-    Chaos worker-death injection happens here — inside the attempt, the
-    way a real OOM-kill lands — so the parent only ever observes the
-    broken executor (subprocess) or :class:`WorkerKilled` (inline).
-
-    ``telemetry`` is only ever passed on the inline path: worker
-    processes cannot stream telemetry back (and a live bundle does not
-    pickle), but in-process attempts observe into the pool's bundle, so
-    an instrumented ``max_workers=1`` sweep profiles as the full
-    sweep → campaign → phase span tree.
-    """
-    if task.chaos is not None:
-        task.chaos.kill_worker(task.digest, task.attempt, task.subprocess)
-    if telemetry is not None:
-        return run_campaign(task.config, options=RunOptions(telemetry=telemetry))
-    return run_campaign(task.config)
+    """Back-compat worker body: delegates to the shared backend body."""
+    return execute_task(
+        TaskSpec(
+            config=task.config,
+            digest=task.digest,
+            attempt=task.attempt,
+            chaos=task.chaos,
+        ),
+        telemetry=telemetry,
+        in_process=not task.subprocess,
+    )
 
 
 def _simulate(config: CampaignConfig) -> Trace:
@@ -115,6 +132,7 @@ class SweepStats:
     resumed: int = 0
     retries: int = 0
     respawns: int = 0
+    backend: str = DEFAULT_BACKEND
 
     @property
     def events_per_sec(self) -> float:
@@ -129,16 +147,17 @@ class SweepStats:
                 f", recovered: {self.retries} retries / "
                 f"{self.respawns} respawns / {self.resumed} resumed"
             )
+        via = f" via {self.backend}" if self.backend != DEFAULT_BACKEND else ""
         return (
             f"{self.campaigns} campaigns in {self.wall_time_s:.2f}s "
             f"({self.cache_hits} cache hits, {self.simulated} simulated "
-            f"on {self.workers} worker{'s' if self.workers != 1 else ''}, "
-            f"{self.events_per_sec:,.0f} events/s{recovered})"
+            f"on {self.workers} worker{'s' if self.workers != 1 else ''}"
+            f"{via}, {self.events_per_sec:,.0f} events/s{recovered})"
         )
 
 
 class CampaignPool:
-    """Runs batches of campaigns across processes, through the cache."""
+    """Runs batches of campaigns through the cache and a backend."""
 
     def __init__(
         self,
@@ -167,7 +186,9 @@ class CampaignPool:
                 circuit breaker); ``None`` uses the default policy.
             options: A :class:`repro.RunOptions`; fills any of the above
                 that were not passed explicitly (workers, cache +
-                cache_dir, telemetry, resilience, checkpoint_dir).
+                cache_dir, telemetry, resilience, checkpoint_dir), and
+                selects the execution backend (``backend`` +
+                ``backend_options``).
         """
         opts = options if options is not None else RunOptions()
         if max_workers is None:
@@ -180,6 +201,18 @@ class CampaignPool:
             resilience = opts.resilience or DEFAULT_RESILIENCE
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        self.backend = opts.backend or DEFAULT_BACKEND
+        self.backend_options = dict(opts.backend_options or {})
+        if self.backend == "inline" and max_workers not in (None, 1):
+            warnings.warn(
+                f"CampaignPool: max_workers={max_workers} conflicts with "
+                "backend='inline' (serial); forcing workers=1 — pass "
+                "repro.RunOptions(backend=..., workers=...) consistently "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            max_workers = 1
         self.max_workers = max_workers
         self.resilience = resilience
         if cache is False:
@@ -198,7 +231,7 @@ class CampaignPool:
         )
         self.checkpoint_dir = opts.checkpoint_dir
         #: One breaker per pool: once open, this pool never goes back to
-        #: pooled execution (a broken mp environment does not heal).
+        #: backend execution (a broken mp environment does not heal).
         self.breaker = CircuitBreaker(threshold=resilience.circuit_threshold)
         self.last_stats: Optional[SweepStats] = None
 
@@ -226,7 +259,7 @@ class CampaignPool:
         ``checkpoint`` (or a pool built with ``options.checkpoint_dir``)
         makes the sweep crash-safe: completed configs are persisted as
         they finish and an interrupted sweep, re-run with the same
-        checkpoint, resumes bit-identically.
+        checkpoint — on *any* backend — resumes bit-identically.
         """
         metrics = self.metrics
         baseline = {
@@ -320,6 +353,7 @@ class CampaignPool:
             resumed=delta("pool_resumed_total"),
             retries=delta("resilience_retries_total"),
             respawns=delta("resilience_worker_respawns_total"),
+            backend=self.backend,
         )
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
@@ -335,6 +369,7 @@ class CampaignPool:
                 retries=self.last_stats.retries,
                 respawns=self.last_stats.respawns,
                 resumed=self.last_stats.resumed,
+                backend=self.backend,
             )
         return [t for t in results if t is not None]
 
@@ -353,29 +388,73 @@ class CampaignPool:
                 reason=reason,
             )
 
+    def _select_backend(
+        self, n_configs: int, workers: int
+    ) -> Optional[ExecutionBackend]:
+        """Instantiate the backend for this dispatch, or None for the
+        guaranteed in-process path.
+
+        The default backend keeps its historical fast path: one worker
+        or one config means no pool is worth spinning up.  An explicit
+        non-default backend always dispatches (a distributed queue may
+        be drained remotely even for a single config; an explicit
+        ``inline`` request should exercise the backend loop it asked
+        for).  An open breaker never dispatches — a broken environment
+        does not heal.
+        """
+        if self.breaker.open:
+            return None
+        if self.backend == DEFAULT_BACKEND and (
+            workers <= 1 or n_configs <= 1
+        ):
+            return None
+        return create_backend(
+            self.backend,
+            workers=workers,
+            telemetry=self.telemetry,
+            mp_context=self.mp_context,
+            options=self.backend_options,
+        )
+
     def _execute(
         self, configs: List[CampaignConfig], workers: int
     ) -> "Tuple[List[Tuple[Trace, str]], int]":
-        """Run the given configs, preferring processes, falling back inline.
+        """Run the given configs through the backend, falling back inline.
 
         Returns ``([(trace, executor_label), ...], workers_used)`` in
         input order.
         """
         digests = [config_digest(c) for c in configs]
         results: List[Optional[Tuple[Trace, str]]] = [None] * len(configs)
-        if workers > 1 and len(configs) > 1 and not self.breaker.open:
-            self._execute_pooled(configs, digests, results, workers)
-        pooled = sum(1 for r in results if r is not None)
+        dispatched = 0
+        serial_backend = False
+        backend = self._select_backend(len(configs), workers)
+        if backend is not None:
+            serial_backend = backend.capabilities.serial
+            try:
+                self._execute_waves(backend, configs, digests, results)
+            finally:
+                backend.close()
+            dispatched = sum(1 for r in results if r is not None)
         for i, config in enumerate(configs):
             if results[i] is None:
                 results[i] = (
                     self._simulate_inline(config, digests[i]),
                     "inline",
                 )
-        return list(results), workers if pooled else 1
+        if not dispatched or serial_backend:
+            return list(results), 1
+        return list(results), workers
 
     def _simulate_inline(self, config: CampaignConfig, digest: str) -> Trace:
-        """In-process attempt loop: retry with backoff, then re-raise."""
+        """In-process attempt loop: retry with backoff, then re-raise.
+
+        The guaranteed-completion path: runs when no backend was
+        selected, after the circuit opened, or for attempts whose
+        backend retry budget ran dry — re-raising the genuine error if
+        it persists, so real failures still surface with their real
+        exception.
+        """
         retry = self.resilience.retry
         chaos = self.resilience.chaos
         for attempt in range(retry.max_attempts):
@@ -397,124 +476,115 @@ class CampaignPool:
                 retry.backoff.sleep(digest, attempt)
         raise AssertionError("unreachable: retry loop exited")  # pragma: no cover
 
-    def _new_executor(self, workers: int):
-        ctx = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context
-            else multiprocessing.get_context()
-        )
-        return concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx
-        )
-
-    @staticmethod
-    def _kill_executor(executor) -> None:
-        """Tear an executor down hard, terminating hung workers."""
-        processes = list(getattr(executor, "_processes", {}).values())
-        executor.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except (OSError, ValueError):  # pragma: no cover - best effort
-                pass
-
-    def _execute_pooled(
+    def _execute_waves(
         self,
+        backend: ExecutionBackend,
         configs: List[CampaignConfig],
         digests: List[str],
         results: List[Optional[Tuple[Trace, str]]],
-        workers: int,
     ) -> None:
         """Dispatch waves of attempts until done, dead, or circuit-open.
 
-        Fills ``results`` in place; indices still ``None`` on return are
-        the inline fallback's responsibility (budget exhausted or breaker
-        open), so the sweep always completes and real errors still
-        surface — from the inline path, with the genuine exception.
+        Backend-agnostic policy loop.  Fills ``results`` in place;
+        indices still ``None`` on return are the inline fallback's
+        responsibility (budget exhausted or breaker open), so the sweep
+        always completes and real errors still surface — from the
+        inline path, with the genuine exception.
+
+        Outcome kinds map to recovery actions: ``"error"`` retries in
+        place (the worker survived); ``"lost"`` and ``"timeout"`` mark
+        the backend broken — it is hard-killed, the breaker records a
+        failure, and a seeded backoff precedes the respawn.
         """
         retry = self.resilience.retry
         chaos = self.resilience.chaos
         metrics = self.metrics
+        label = backend.executor_label
         attempts = [0] * len(configs)
-        pending = [i for i in range(len(configs))]
-        executor = None
+        pending = list(range(len(configs)))
         wave = 0
-        try:
-            executor = self._new_executor(workers)
-        except (OSError, ValueError, RuntimeError):
-            return  # e.g. sandboxed environments without /dev/shm
-        try:
-            while pending and not self.breaker.open:
-                futures = {}
-                try:
-                    if executor is None:
-                        executor = self._new_executor(workers)
-                        metrics.counter(
-                            "resilience_worker_respawns_total"
-                        ).inc()
-                    for i in pending:
-                        futures[i] = executor.submit(
-                            _simulate_task,
-                            _SimTask(
-                                config=configs[i],
-                                digest=digests[i],
-                                attempt=attempts[i],
-                                chaos=chaos,
-                                subprocess=True,
-                            ),
-                        )
-                except (OSError, ValueError, RuntimeError):
-                    self.breaker.record_failure()
-                    if executor is not None:
-                        self._kill_executor(executor)
-                        executor = None
-                    continue
-                wave_deadline = (
-                    time.monotonic() + retry.timeout_s
-                    if retry.timeout_s is not None
-                    else None
+        respawn_needed = False
+        while pending and not self.breaker.open:
+            if respawn_needed:
+                metrics.counter("resilience_worker_respawns_total").inc()
+                respawn_needed = False
+            tasks = [
+                TaskSpec(
+                    config=configs[i],
+                    digest=digests[i],
+                    attempt=attempts[i],
+                    chaos=chaos,
                 )
-                failed: List[int] = []
-                broken = False
-                for i in pending:
-                    remaining = None
-                    if wave_deadline is not None:
-                        remaining = max(0.0, wave_deadline - time.monotonic())
-                    try:
-                        trace = futures[i].result(timeout=remaining)
-                        results[i] = (trace, "process")
-                    except concurrent.futures.TimeoutError:
-                        metrics.counter("resilience_timeouts_total").inc()
-                        failed.append(i)
-                        broken = True  # hung worker: executor must die
-                    except concurrent.futures.BrokenExecutor:
-                        failed.append(i)
-                        broken = True  # dead worker took the executor down
-                    except Exception:
-                        failed.append(i)  # attempt raised; worker survives
-                pending = []
-                for i in failed:
-                    if retry.retryable(attempts[i]):
-                        self._note_retry(
-                            digests[i], attempts[i], "pool-attempt-failed"
-                        )
-                        attempts[i] += 1
-                        pending.append(i)
-                    # else: leave results[i] None for the inline fallback,
-                    # which re-raises the genuine error if it persists.
-                if broken:
+                for i in pending
+            ]
+            with maybe_span(
+                self.telemetry,
+                "backend.wave",
+                backend=backend.name,
+                wave=wave,
+                tasks=len(tasks),
+            ):
+                try:
+                    handle = backend.submit_wave(tasks)
+                except BackendUnavailable:
+                    if wave == 0:
+                        # Backend never came up (e.g. a sandbox without
+                        # /dev/shm): degrade silently to the inline
+                        # fallback without tripping the breaker.
+                        return
                     opened = self.breaker.record_failure()
                     if opened:
-                        metrics.counter("resilience_circuit_open_total").inc()
-                    self._kill_executor(executor)
-                    executor = None
+                        metrics.counter(
+                            "resilience_circuit_open_total"
+                        ).inc()
+                    backend.kill()
                     retry.backoff.sleep("pool-respawn", wave)
-                else:
-                    self.breaker.record_success()
-                wave += 1
-        finally:
-            if executor is not None:
-                executor.shutdown(wait=True, cancel_futures=True)
+                    respawn_needed = True
+                    wave += 1
+                    continue
+                metrics.counter(
+                    "backend_dispatch_total", backend=backend.name
+                ).inc(len(tasks))
+                timeout_s = (
+                    retry.timeout_s
+                    if backend.capabilities.supports_timeout
+                    else None
+                )
+                outcomes = backend.poll(handle, timeout_s=timeout_s)
+            failed: List[int] = []
+            broken = False
+            for outcome in outcomes:
+                i = pending[outcome.index]
+                if outcome.kind == "ok":
+                    results[i] = (outcome.trace, label)
+                    continue
+                failed.append(i)
+                if outcome.kind == "timeout":
+                    metrics.counter("resilience_timeouts_total").inc()
+                    broken = True  # hung worker: backend must die
+                elif outcome.kind == "lost":
+                    broken = True  # dead worker took the backend down
+                # "error": attempt raised; the worker survives.
+            pending = []
+            for i in failed:
+                if retry.retryable(attempts[i]):
+                    self._note_retry(
+                        digests[i], attempts[i], "pool-attempt-failed"
+                    )
+                    attempts[i] += 1
+                    pending.append(i)
+                # else: leave results[i] None for the inline fallback,
+                # which re-raises the genuine error if it persists.
+            if broken:
+                opened = self.breaker.record_failure()
+                if opened:
+                    metrics.counter("resilience_circuit_open_total").inc()
+                backend.kill()
+                retry.backoff.sleep("pool-respawn", wave)
+                respawn_needed = True
+            else:
+                self.breaker.record_success()
+            wave += 1
 
 
 def run_campaigns(
@@ -528,11 +598,12 @@ def run_campaigns(
     """One-call sweep: pool + cache with defaults; results in input order.
 
     ``options`` is the supported configuration surface
-    (:class:`repro.RunOptions`); the ``max_workers=``/``cache=`` keywords
-    are the deprecated pre-``RunOptions`` spelling and emit a
-    :class:`DeprecationWarning`.  ``checkpoint`` (or
-    ``options.checkpoint_dir``) makes the sweep crash-safe and
-    resumable.
+    (:class:`repro.RunOptions`), including backend selection
+    (``RunOptions(backend="work-queue", backend_options={...})``); the
+    ``max_workers=``/``cache=`` keywords are the deprecated
+    pre-``RunOptions`` spelling and emit a :class:`DeprecationWarning`.
+    ``checkpoint`` (or ``options.checkpoint_dir``) makes the sweep
+    crash-safe and resumable on any backend.
     """
     opts = resolve_options(
         options,

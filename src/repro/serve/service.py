@@ -225,6 +225,7 @@ class ReliabilityService:
         retry_after_s: float = 30.0,
         whatif_runner: Optional[Callable[[WhatIfSpec], Dict[str, Any]]] = None,
         stale_after_days: Optional[float] = None,
+        run_options=None,
     ):
         if max_concurrent_whatif < 1:
             raise ValueError("max_concurrent_whatif must be >= 1")
@@ -252,6 +253,12 @@ class ReliabilityService:
             whatif_runner if whatif_runner is not None else self._compute_whatif
         )
         self.stale_after_days = stale_after_days
+        #: Optional repro.RunOptions selecting how what-if campaigns
+        #: execute (notably ``backend=``/``backend_options=`` — a serve
+        #: deployment can dispatch simulations to a shared work queue
+        #: instead of its own process).  ``None`` keeps the historical
+        #: in-process cached path.
+        self.run_options = run_options
         #: digest -> in-flight Task; concurrent identical queries await
         #: the same computation (single-flight).
         self._inflight: Dict[str, "asyncio.Task"] = {}
@@ -578,7 +585,17 @@ class ReliabilityService:
         campaign_block: Optional[Dict[str, Any]] = None
         if spec.campaign is not None:
             config = spec.campaign.to_config()
-            trace = cached_run_campaign(config, cache=self.trace_cache)
+            if self.run_options is not None:
+                # Route through the configured execution backend (the
+                # cache-first pool path, so repeats are still disk reads).
+                from repro.runtime.pool import CampaignPool
+
+                pool = CampaignPool(
+                    options=self.run_options.replace(cache=self.trace_cache)
+                )
+                trace = pool.run([config])[0]
+            else:
+                trace = cached_run_campaign(config, cache=self.trace_cache)
             analysis = mttf_analysis(trace)
             measured = analysis.failure_rate
             rates = [measured.rate] + [r for r in rates if r != measured.rate]

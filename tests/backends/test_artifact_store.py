@@ -1,0 +1,118 @@
+"""``ArtifactStore``: the shared content-addressed result store.
+
+The store is what makes backends interchangeable mid-sweep: a shard
+completed by anyone, anywhere, under any backend serves every later
+reader.  These tests pin its three guarantees — content addressing,
+integrity (torn entries quarantine, never poison), and multi-writer
+safety — plus compatibility with the legacy checkpoint entry layout.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import ArtifactStore, run_campaign
+from repro.runtime import TraceCache, config_digest, trace_digest
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(tiny_configs):
+    return run_campaign(tiny_configs[0])
+
+
+def test_round_trip_by_config_and_by_digest(tmp_path, tiny_configs, tiny_trace):
+    store = ArtifactStore(tmp_path)
+    config = tiny_configs[0]
+    digest = config_digest(config)
+    assert store.get(config) is None
+    assert digest not in store
+
+    store.put(config, tiny_trace)
+    assert digest in store
+    assert store.has_digest(digest)
+    assert list(store.digests()) == [digest]
+    for loaded in (store.get(config), store.get_digest(digest)):
+        assert loaded is not None
+        assert trace_digest(loaded) == trace_digest(tiny_trace)
+
+
+def test_store_preserves_provenance_unlike_the_cache(
+    tmp_path, tiny_configs, tiny_trace
+):
+    """The cache stamps loads ``source="cache"``; the store stamps
+    nothing — the caller (checkpoint resume, queue dispatch) decides
+    what a load *means*."""
+    config = tiny_configs[0]
+    original = tiny_trace.metadata["runtime"]["source"]
+
+    store = ArtifactStore(tmp_path / "store")
+    store.put(config, tiny_trace)
+    assert store.get(config).metadata["runtime"]["source"] == original
+
+    cache = TraceCache(root=tmp_path / "cache", enabled=True)
+    cache.put(config, tiny_trace)
+    assert cache.get(config).metadata["runtime"]["source"] == "cache"
+
+
+def test_torn_entry_quarantines_and_reads_as_miss(
+    tmp_path, tiny_configs, tiny_trace
+):
+    store = ArtifactStore(tmp_path)
+    config = tiny_configs[0]
+    store.put(config, tiny_trace)
+
+    victim = store.path_for(config)
+    data = victim.read_bytes()
+    victim.write_bytes(data[: len(data) // 2])
+
+    assert store.get(config) is None
+    assert store.stats()["quarantined"] == 1
+    assert any(store.quarantine_dir().iterdir())
+    # The torn entry was moved out, so the key is free to rewrite.
+    store.put(config, tiny_trace)
+    assert store.get(config) is not None
+
+
+def test_legacy_checkpoint_entries_keep_serving(
+    tmp_path, tiny_configs, tiny_trace
+):
+    """Entry layout is identical to the pre-promotion checkpoint store
+    (the trace cache's), so old checkpoint directories resume cleanly."""
+    config = tiny_configs[0]
+    TraceCache(root=tmp_path, enabled=True).put(config, tiny_trace)
+
+    store = ArtifactStore(tmp_path)
+    loaded = store.get(config)
+    assert loaded is not None
+    assert trace_digest(loaded) == trace_digest(tiny_trace)
+
+
+def _hammer_same_key(root, digest, trace, rounds):
+    store = ArtifactStore(root)
+    for _ in range(rounds):
+        store.put_digest(digest, trace)
+
+
+def test_racing_writers_never_tear_an_entry(tmp_path, tiny_configs, tiny_trace):
+    """Regression for the multi-writer story: N processes hammering the
+    same shard key leave exactly one complete, verified entry."""
+    digest = config_digest(tiny_configs[0])
+    procs = [
+        multiprocessing.Process(
+            target=_hammer_same_key,
+            args=(str(tmp_path), digest, tiny_trace, 10),
+        )
+        for _ in range(3)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    store = ArtifactStore(tmp_path)
+    loaded = store.get_digest(digest)
+    assert loaded is not None
+    assert trace_digest(loaded) == trace_digest(tiny_trace)
+    assert store.stats()["quarantined"] == 0
+    assert list(store.digests()) == [digest]

@@ -228,3 +228,65 @@ def test_live_resume_requires_trace(capsys):
     captured = capsys.readouterr()
     assert captured.out == ""
     assert "requires --trace" in captured.err
+
+
+def test_parse_backend_opts_json_values():
+    from repro.cli import _parse_backend_opts
+
+    opts = _parse_backend_opts(
+        ["root=/shared/queue", "embedded=false", "poll_interval=0.1"]
+    )
+    assert opts == {
+        "root": "/shared/queue", "embedded": False, "poll_interval": 0.1,
+    }
+    assert _parse_backend_opts(None) == {}
+    with pytest.raises(ValueError, match="KEY=VALUE"):
+        _parse_backend_opts(["oops"])
+
+
+def test_campaign_backend_inline(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        ["campaign", "--nodes", "8", "--days", "2", "--no-cache",
+         "--backend", "inline", "--out", str(out)]
+    )
+    assert code == 0
+    assert out.exists()
+
+
+def test_campaign_backend_work_queue_sweep(tmp_path):
+    code = main(
+        ["campaign", "--nodes", "8", "--days", "2", "--seeds", "0,1",
+         "--workers", "2", "--no-cache", "--backend", "work-queue",
+         "--backend-opt", f"root={tmp_path / 'queue'}",
+         "--out", str(tmp_path / "trace.jsonl")]
+    )
+    assert code == 0
+    assert (tmp_path / "trace-seed0.jsonl").exists()
+    assert (tmp_path / "trace-seed1.jsonl").exists()
+    # The queue directory the --backend-opt named was actually used.
+    assert (tmp_path / "queue" / "store").is_dir()
+
+
+def test_campaign_malformed_backend_opt_errors(tmp_path, capsys):
+    code = main(
+        ["campaign", "--nodes", "8", "--days", "2", "--no-cache",
+         "--backend-opt", "oops", "--out", str(tmp_path / "t.jsonl")]
+    )
+    assert code == 2
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_campaign_unknown_backend_rejected_by_argparse(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--backend", "teleport",
+              "--out", str(tmp_path / "t.jsonl")])
+
+
+def test_worker_once_on_empty_queue(tmp_path, capsys):
+    import json
+
+    assert main(["worker", str(tmp_path), "--once"]) == 0
+    stats = json.loads(capsys.readouterr().out.strip())
+    assert stats["drained"] == 0
+    assert stats["failed"] == 0

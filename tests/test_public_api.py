@@ -14,6 +14,7 @@ import repro
 
 #: The one-package import surface.  Keep sorted; additions append here.
 REPRO_ALL = [
+    "ArtifactStore",
     "Campaign",
     "CampaignCheckpoint",
     "CampaignConfig",
@@ -22,10 +23,13 @@ REPRO_ALL = [
     "Cluster",
     "ClusterSpec",
     "DEFAULT_OPTIONS",
+    "ExecutionBackend",
+    "InlineBackend",
     "IntendedOutcome",
     "JobAttemptRecord",
     "JobState",
     "LiveAnalytics",
+    "LocalPoolBackend",
     "MAX_JOB_LIFETIME",
     "NodeTraceRecord",
     "QosTier",
@@ -35,13 +39,36 @@ REPRO_ALL = [
     "Telemetry",
     "Trace",
     "TraceCache",
+    "WorkQueueBackend",
     "WorkloadProfile",
     "__version__",
+    "create_backend",
     "rsc1_profile",
     "rsc2_profile",
     "run_campaign",
     "run_campaigns",
     "seed_sweep_configs",
+]
+
+BACKENDS_ALL = [
+    "ArtifactStore",
+    "BACKENDS",
+    "BackendCapabilities",
+    "BackendError",
+    "BackendUnavailable",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "InlineBackend",
+    "LocalPoolBackend",
+    "OUTCOME_KINDS",
+    "TaskOutcome",
+    "TaskSpec",
+    "WorkQueueBackend",
+    "backend_names",
+    "create_backend",
+    "drain_queue",
+    "execute_task",
+    "register_backend",
 ]
 
 RESILIENCE_ALL = [
@@ -72,6 +99,14 @@ def test_resilience_all_is_the_agreed_surface():
     assert sorted(repro.resilience.__all__) == RESILIENCE_ALL
 
 
+def test_backends_all_is_the_agreed_surface():
+    import repro.backends
+
+    assert sorted(repro.backends.__all__) == BACKENDS_ALL
+    for name in repro.backends.__all__:
+        assert getattr(repro.backends, name) is not None
+
+
 @pytest.mark.parametrize("name", REPRO_ALL)
 def test_every_exported_name_resolves(name):
     assert getattr(repro, name) is not None
@@ -93,6 +128,7 @@ def test_unknown_attribute_raises_attribute_error():
 
 
 def test_lazy_exports_match_their_home_modules():
+    from repro.backends import ArtifactStore, ExecutionBackend, create_backend
     from repro.live.analytics import LiveAnalytics
     from repro.obs.telemetry import Telemetry
     from repro.resilience import CampaignCheckpoint, ChaosPolicy
@@ -105,6 +141,9 @@ def test_lazy_exports_match_their_home_modules():
     assert repro.Telemetry is Telemetry
     assert repro.ChaosPolicy is ChaosPolicy
     assert repro.CampaignCheckpoint is CampaignCheckpoint
+    assert repro.ArtifactStore is ArtifactStore
+    assert repro.ExecutionBackend is ExecutionBackend
+    assert repro.create_backend is create_backend
 
 
 def test_run_options_is_frozen():
